@@ -1,0 +1,55 @@
+"""E11-E13 — Figure 10: subgroup metrics (Inter/Intra%, density, Co-display%, Alone%, regret CDF).
+
+Shape checks mirroring the paper: FMG is a single subgroup (Intra% = 100,
+Alone% = 0), PER leaves users alone and mostly produces inter-subgroup edges,
+AVG keeps a high Co-display% with dense subgroups and the lowest regret.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+DATASETS = ("timik", "epinions", "yelp")
+
+
+def test_fig10_subgroup_metrics_and_regret(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure10_subgroup_metrics(DATASETS, num_users=25, num_items=60, num_slots=5),
+    )
+    for dataset in DATASETS:
+        rows = {row["algorithm"]: row for row in result.filter(x=dataset)}
+
+        # Figure 10(a-c): FMG is one big subgroup; AVG keeps most edges intra-subgroup.
+        assert rows["FMG"]["intra_pct"] == 100.0
+        assert rows["FMG"]["inter_pct"] == 0.0
+        assert rows["AVG"]["intra_pct"] >= rows["PER"]["intra_pct"] - 1e-9
+        # AVG's subgroups are dense relative to what the personalized approach
+        # induces.  (The paper additionally reports AVG's density above GRF's;
+        # at laptop scale GRF's small preference clusters can be denser — see
+        # EXPERIMENTS.md for the deviation note.)
+        assert rows["AVG"]["normalized_density"] >= rows["PER"]["normalized_density"] - 1e-9
+
+        # Figure 10(d-f): co-display and alone rates.  AVG's co-display rate is
+        # near-total on the socially dense datasets; on the sparse
+        # Epinions-style network some friend pairs are simply not worth
+        # aligning, so the check is looser there.
+        assert rows["FMG"]["co_display_pct"] == 100.0
+        assert rows["FMG"]["alone_pct"] == 0.0
+        # On the weak-social Epinions-style network only the worthwhile friend
+        # pairs get aligned; elsewhere AVG shares views for nearly everyone.
+        minimum_co_display = 85.0 if dataset != "epinions" else 20.0
+        assert rows["AVG"]["co_display_pct"] >= minimum_co_display
+        assert rows["AVG"]["co_display_pct"] >= rows["PER"]["co_display_pct"] - 1e-9
+        assert rows["AVG"]["alone_pct"] <= 60.0 if dataset == "epinions" else rows["AVG"]["alone_pct"] <= 25.0
+        assert rows["PER"]["alone_pct"] >= rows["AVG"]["alone_pct"] - 1e-9
+
+        # Figure 10(g-i): AVG's regret CDF dominates PER's (more users at low regret).
+        avg_cdf = np.asarray(rows["AVG"]["regret_cdf"])
+        per_cdf = np.asarray(rows["PER"]["regret_cdf"])
+        assert np.all(avg_cdf >= per_cdf - 0.15)
+        assert rows["AVG"]["mean_regret"] <= rows["PER"]["mean_regret"] + 1e-9
+        assert rows["AVG"]["mean_regret"] <= rows["GRF"]["mean_regret"] + 1e-9

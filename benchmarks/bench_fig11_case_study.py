@@ -1,0 +1,33 @@
+"""E14 — Figure 11: 2-hop ego-network case study.
+
+Checks that the case-study experiment produces per-slot subgroup structures
+for AVG, SDP and GRF, and that AVG serves the hardest-to-please (focal) user
+at least as well as the static-subgroup baselines.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig11_case_study(benchmark):
+    result = run_once(
+        benchmark, lambda: figures.figure11_case_study(num_items=30, num_slots=3, max_users=8)
+    )
+    algorithms = {row["algorithm"] for row in result.rows}
+    assert algorithms == {"AVG", "SDP", "GRF"}
+
+    def focal_regret(name):
+        return result.filter(algorithm=name)[0]["focal_user_regret"]
+
+    def utility(name):
+        return result.filter(algorithm=name)[0]["total_utility"]
+
+    assert focal_regret("AVG") <= max(focal_regret("SDP"), focal_regret("GRF")) + 1e-9
+    assert utility("AVG") >= min(utility("SDP"), utility("GRF")) - 1e-9
+    # Every slot row describes a partition of the (up to 8) ego-network users.
+    for row in result.rows:
+        members = [user for group in row["subgroups"].values() for user in group]
+        assert len(members) == len(set(members))
+        assert len(members) == result.parameters["num_users"]

@@ -1,0 +1,38 @@
+"""E15 — Figure 12: sensitivity of AVG-D to the balancing ratio r.
+
+Shape checks from the paper: small r makes AVG-D behave like the group
+approach (one huge subgroup, maximal intra%), large r like the personalized
+approach (small subgroups, little social utility); intermediate r (0.7-1.0)
+is near-optimal; runtime grows with r (more iterations for smaller subgroups).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+RATIOS = (0.0, 0.25, 0.7, 1.0, 2.0)
+
+
+def test_fig12_r_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure12_r_sensitivity(
+            RATIOS, num_users=12, num_items=30, num_slots=3, include_ip=True, ip_time_limit=60.0
+        ),
+    )
+    by_ratio = {row["balancing_ratio"]: row for row in result.rows}
+
+    # r = 0: the group-approach end of the spectrum.
+    assert by_ratio[0.0]["mean_subgroup_size"] >= by_ratio[2.0]["mean_subgroup_size"]
+    assert by_ratio[0.0]["intra_pct"] >= by_ratio[2.0]["intra_pct"] - 1e-9
+    # Large r: less social utility than small r (personalized-like behaviour).
+    assert by_ratio[2.0]["social_utility"] <= by_ratio[0.0]["social_utility"] + 1e-9
+
+    # Intermediate r values reach a large fraction of the optimum (Figure 12(a)).
+    best = max(row["optimality"] for row in result.rows if row["optimality"] is not None)
+    assert best >= 0.9
+    for r in (0.25, 0.7, 1.0):
+        assert by_ratio[r]["optimality"] >= 0.25  # never below the proven guarantee
+    # Number of iterations (hence runtime) tends to grow with r.
+    assert by_ratio[2.0]["seconds"] >= by_ratio[0.0]["seconds"] * 0.5

@@ -1,0 +1,38 @@
+"""E16 — Figure 13: SVGIC-ST size-constraint violations vs M.
+
+Shape checks: AVG never violates the subgroup-size constraint (the capped CSF
+locks full cells); PER is always feasible too (singleton subgroups); the
+group-based baselines violate it, and pre-partitioning ("-P") reduces their
+violations relative to the raw variants ("-NP").
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+LIMITS = (3, 5, 8)
+
+
+def test_fig13_total_violations(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure13_st_violations(
+            LIMITS, num_users=15, num_items=40, num_slots=4, num_instances=2
+        ),
+    )
+    for limit in LIMITS:
+        rows = {row["algorithm"]: row for row in result.filter(x=limit)}
+        assert rows["AVG"]["total_violation"] == 0
+        assert rows["AVG"]["feasibility_ratio"] == 1.0
+        assert rows["PER-NP"]["total_violation"] == 0
+        # FMG shows one item to everyone: always violates a cap below n.
+        assert rows["FMG-NP"]["total_violation"] > 0
+        # Pre-partitioning helps the group-based baselines in aggregate
+        # (per-method results can fluctuate at this scale).
+        prepartitioned = sum(rows[f"{name}-P"]["total_violation"] for name in ("FMG", "SDP", "GRF"))
+        raw = sum(rows[f"{name}-NP"]["total_violation"] for name in ("FMG", "SDP", "GRF"))
+        assert prepartitioned <= raw
+    # Looser caps mean fewer violations for the violating baselines.
+    fmg = {row["x"]: row["total_violation"] for row in result.filter(algorithm="FMG-NP")}
+    assert fmg[LIMITS[-1]] <= fmg[LIMITS[0]]

@@ -1,0 +1,35 @@
+"""E19 — Figure 16: simulated user study.
+
+Shape checks mirroring Section 6.9: the elicited lambdas fall in [0.15, 0.85]
+with a mean around 0.5 (both preference and social interaction matter); the
+SAVG utility correlates strongly with the simulated satisfaction scores; AVG
+achieves the highest utility and satisfaction; AVG leaves no user alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig16_user_study(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure16_user_study(num_participants=24, num_items=40, num_slots=5),
+    )
+    lambdas = np.asarray(result.parameters["user_lambdas"])
+    assert lambdas.min() >= 0.15 and lambdas.max() <= 0.85
+    assert 0.35 <= lambdas.mean() <= 0.7
+
+    rows = {row["algorithm"]: row for row in result.rows}
+    best_by_utility = max(rows, key=lambda name: rows[name]["total_utility"])
+    best_by_satisfaction = max(rows, key=lambda name: rows[name]["mean_satisfaction"])
+    assert best_by_utility == "AVG"
+    assert rows["AVG"]["mean_satisfaction"] >= rows["PER"]["mean_satisfaction"] - 1e-9
+    assert rows["AVG"]["alone_pct"] == 0.0
+
+    correlations = result.parameters["correlations"]
+    assert correlations["spearman"] >= 0.5
+    assert correlations["pearson"] >= 0.5

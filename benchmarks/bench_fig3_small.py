@@ -1,0 +1,58 @@
+"""E1-E3 — Figure 3(a-f): utility and execution time on small datasets vs n, m, k.
+
+The paper's qualitative findings checked here: AVG and AVG-D stay within a
+few percent of the IP optimum, beat the personalized baseline, and run much
+faster than the exact IP as the instance grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def _check_shape(result, x_values):
+    for x in x_values:
+        rows = {row["algorithm"]: row for row in result.filter(x=x)}
+        ip = rows["IP"]["total_utility"]
+        assert rows["AVG-D"]["total_utility"] >= 0.85 * ip
+        assert rows["AVG"]["total_utility"] >= 0.75 * ip
+        assert rows["AVG-D"]["total_utility"] >= rows["PER"]["total_utility"] - 1e-9
+        # Every approximation is upper-bounded by the exact optimum.
+        for name in ("AVG", "AVG-D", "PER", "FMG", "SDP", "GRF"):
+            assert rows[name]["total_utility"] <= ip + 1e-6
+
+
+def test_fig3_vary_n(benchmark):
+    values = [5, 8, 11]
+    result = run_once(
+        benchmark,
+        lambda: figures.figure3_small_datasets("n", values=values, ip_time_limit=30.0),
+    )
+    _check_shape(result, values)
+    # The exact IP is the slowest approach at the largest size (Figure 3(b)).
+    rows = {row["algorithm"]: row for row in result.filter(x=values[-1])}
+    assert rows["IP"]["seconds"] >= rows["PER"]["seconds"]
+
+
+def test_fig3_vary_m(benchmark):
+    values = [10, 20, 30]
+    result = run_once(
+        benchmark,
+        lambda: figures.figure3_small_datasets("m", values=values, ip_time_limit=30.0),
+    )
+    _check_shape(result, values)
+
+
+def test_fig3_vary_k(benchmark):
+    values = [2, 3, 4]
+    result = run_once(
+        benchmark,
+        lambda: figures.figure3_small_datasets("k", values=values, ip_time_limit=30.0),
+    )
+    _check_shape(result, values)
+    # Total utility grows with the number of slots for our algorithms (Figure 3(e)).
+    avg_d = {row["x"]: row["total_utility"] for row in result.filter(algorithm="AVG-D")}
+    assert avg_d[values[-1]] > avg_d[values[0]]

@@ -1,0 +1,31 @@
+"""E4 — Figure 4: impact of lambda on the normalized total SAVG utility.
+
+Shape checks: PER achieves the highest Personal%% but the lowest (or close to
+lowest) normalized utility as lambda grows, while AVG / AVG-D stay closest to
+the IP optimum across all lambda values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+LAMBDAS = (1.0 / 3.0, 0.5, 2.0 / 3.0)
+
+
+def test_fig4_lambda(benchmark):
+    result = run_once(benchmark, lambda: figures.figure4_lambda(LAMBDAS, ip_time_limit=30.0))
+    for lam in LAMBDAS:
+        rows = {row["algorithm"]: row for row in result.filter(x=lam)}
+        # Normalized utilities are relative to IP (== 1.0 for IP itself).
+        assert rows["IP"]["normalized_utility"] == pytest.approx(1.0)
+        assert rows["AVG-D"]["normalized_utility"] >= 0.85
+        assert rows["AVG"]["normalized_utility"] >= 0.75
+        # PER maximizes the personal share of its utility.
+        per_personal = rows["PER"]["personal_pct"]
+        assert per_personal >= max(rows[a]["personal_pct"] for a in ("AVG-D", "FMG"))
+    # With a larger social weight the personalized approach loses ground.
+    per_by_lambda = {row["x"]: row["normalized_utility"] for row in result.filter(algorithm="PER")}
+    assert per_by_lambda[LAMBDAS[-1]] <= per_by_lambda[LAMBDAS[0]] + 0.05

@@ -1,0 +1,26 @@
+"""E7 — Figure 7: total SAVG utility under different utility learning models.
+
+Shape checks: AVG / AVG-D outperform the baselines for all three input
+models (PIERT, AGREE, GREE), i.e. the algorithm is generic to the input
+distribution.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+MODELS = ("piert", "agree", "gree")
+
+
+def test_fig7_input_models(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure7_input_models(MODELS, num_users=25, num_items=60, num_slots=5),
+    )
+    for model in MODELS:
+        rows = {row["algorithm"]: row for row in result.filter(x=model)}
+        best_ours = max(rows["AVG"]["total_utility"], rows["AVG-D"]["total_utility"])
+        for baseline in ("PER", "SDP", "GRF"):
+            assert best_ours >= 0.98 * rows[baseline]["total_utility"]
+        assert best_ours >= 0.98 * rows["FMG"]["total_utility"]

@@ -1,0 +1,50 @@
+"""E9/E10 — Figure 9: anytime MIP strategies vs AVG-D, and the speed-up ablation.
+
+* Figure 9(a): exact MIP strategies given multiples of AVG-D's runtime never
+  beat AVG-D by a large margin on the same instance within those budgets
+  (they at best reach the optimum, which is close to AVG-D's value).
+* Figure 9(b): removing the compact-LP transformation (``-ALP``) or the
+  advanced focal sampling (``-AS``) slows AVG / AVG-D down without improving
+  solution quality.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def test_fig9a_ip_strategies(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure9a_ip_strategies(
+            num_users=10, num_items=25, num_slots=3, budget_multipliers=(5.0, 20.0)
+        ),
+    )
+    avg_d_rows = result.filter(algorithm="AVG-D")
+    assert avg_d_rows and avg_d_rows[0]["normalized_objective"] == 1.0
+    ip_rows = [row for row in result.rows if row["algorithm"].startswith("IP-")]
+    assert ip_rows
+    for row in ip_rows:
+        # The exact strategies can reach the optimum (normalized > 1 is fine)
+        # but AVG-D should already be within ~25% of anything they find; a
+        # normalized value of 0 means the strategy found no incumbent at all
+        # within the budget (the paper's "cannot terminate" case).
+        assert row["normalized_objective"] <= 1.0 / 0.75
+
+
+def test_fig9b_speedup_strategies(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: figures.figure9b_speedup_strategies(num_users=15, num_items=40, num_slots=4),
+    )
+    rows = {row["algorithm"]: row for row in result.rows}
+    # Disabling the compact LP transformation makes the LP solve slower.
+    assert rows["AVG-ALP"]["lp_seconds"] >= rows["AVG"]["lp_seconds"]
+    assert rows["AVG-D-ALP"]["lp_seconds"] >= rows["AVG-D"]["lp_seconds"]
+    # Disabling advanced sampling makes the rounding phase slower overall.
+    assert rows["AVG-AS"]["seconds"] >= rows["AVG"]["seconds"] * 0.8
+    # Solution quality stays in the same class for every variant.
+    reference = rows["AVG-D"]["total_utility"]
+    for name, row in rows.items():
+        assert row["total_utility"] >= 0.5 * reference

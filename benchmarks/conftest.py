@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section at laptop scale, prints the resulting series, and asserts the
+qualitative shape the paper reports (who wins, roughly by how much, where the
+crossovers are).  Absolute numbers differ from the paper — the data is
+synthetic and the solver substrate is HiGHS instead of Gurobi on a 1 TB
+server — but the comparisons are meant to hold.
+
+Benchmarks are executed once per test (``rounds=1``) because each already
+aggregates several algorithm runs internally; pytest-benchmark still records
+the wall-clock time of the whole experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult
+
+
+def run_once(benchmark, experiment: Callable[[], ExperimentResult]) -> ExperimentResult:
+    """Run ``experiment`` exactly once under pytest-benchmark timing and print its table."""
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    return result
+
+
+@pytest.fixture
+def print_result():
+    """Fixture returning a printer for experiment results (non-benchmark paths)."""
+
+    def _print(result: ExperimentResult) -> ExperimentResult:
+        print()
+        print(result.to_text())
+        return result
+
+    return _print

@@ -1,0 +1,46 @@
+"""Ego-network case study (Section 6.6 / Figure 11): why flexible subgroups matter.
+
+Run with::
+
+    python examples/case_study_ego_network.py
+
+The script extracts a 2-hop ego network around a well-connected Yelp-style
+user whose tastes do not resemble her friends', runs AVG, SDP and GRF, and
+narrates — slot by slot — whom the focal user gets to shop with under each
+approach and how much regret she is left with.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.subgroup import run_grf, run_sdp
+from repro.core.avg import run_avg
+from repro.data import datasets
+from repro.experiments.case_study import describe_case_study
+from repro.metrics.regret import mean_regret
+
+
+def main() -> None:
+    instance = datasets.ego_network_instance(
+        "yelp", population_users=120, max_users=9, num_items=40, num_slots=3, seed=29
+    )
+    print(f"2-hop ego network: {instance.num_users} users, "
+          f"{instance.num_edges // 2} friendships, {instance.num_slots} slots\n")
+
+    results = {
+        "AVG": run_avg(instance, rng=0, repetitions=5),
+        "SDP": run_sdp(instance),
+        "GRF": run_grf(instance, rng=0),
+    }
+
+    study = describe_case_study(instance, results)
+    print(study.to_text())
+
+    print("\nSummary (lower regret = the focal user is better served):")
+    for name, result in results.items():
+        print(f"  {name:4s} total utility {result.objective:7.2f}   "
+              f"mean regret {mean_regret(instance, result.configuration):.1%}   "
+              f"focal-user regret {study.per_algorithm_regret[name]:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: build a VR group-shopping instance, configure it, inspect the result.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small Timik-style shopping group, runs the paper's AVG-D
+algorithm together with the personalized and group baselines, and prints the
+total SAVG utility, the preference/social split, and the subgroups formed at
+each display slot.
+"""
+
+from __future__ import annotations
+
+from repro import run_avg_d, run_fmg, run_per
+from repro.data import datasets
+from repro.metrics.evaluation import evaluate_result, evaluation_table
+
+
+def main() -> None:
+    # A shopping group of 15 friends, a catalogue of 60 items, 5 display slots.
+    instance = datasets.make_instance(
+        "timik", num_users=15, num_items=60, num_slots=5, social_weight=0.5, seed=7
+    )
+    print(f"Instance: {instance.name} — {instance.num_users} users, "
+          f"{instance.num_items} items, {instance.num_slots} slots, "
+          f"{instance.num_edges} social edges\n")
+
+    results = {
+        "AVG-D (ours)": run_avg_d(instance, balancing_ratio=1.0),
+        "PER (personalized top-k)": run_per(instance),
+        "FMG (group bundle)": run_fmg(instance),
+    }
+
+    reports = [evaluate_result(instance, result) for result in results.values()]
+    print(evaluation_table(reports))
+    print()
+
+    ours = results["AVG-D (ours)"]
+    print("Subgroups formed by AVG-D at slot 1 (item -> users):")
+    for item, members in ours.configuration.subgroups_at_slot(0).items():
+        print(f"  item {item:3d} -> users {members}")
+
+    best_baseline = max(r.objective for name, r in results.items() if "ours" not in name)
+    improvement = 100.0 * (ours.objective - best_baseline) / best_baseline
+    print(f"\nAVG-D improves over the best baseline by {improvement:.1f}% total SAVG utility.")
+
+
+if __name__ == "__main__":
+    main()

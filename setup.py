@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works on environments whose tooling lacks the
+``wheel`` package required by PEP-660 editable installs (pip then falls back
+to the legacy ``setup.py develop`` path via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

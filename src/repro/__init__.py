@@ -1,0 +1,57 @@
+"""repro — reproduction of "Optimizing Item and Subgroup Configurations for Social-Aware VR Shopping".
+
+The package implements the SVGIC / SVGIC-ST optimization problems, the AVG
+and AVG-D approximation algorithms, the exact integer program, all baseline
+recommenders, synthetic dataset substrates mirroring the paper's evaluation
+datasets, subgroup/regret metrics, and an experiment harness regenerating
+every table and figure of the paper's evaluation section.
+
+Quickstart
+----------
+>>> from repro import datasets, run_avg_d, run_per
+>>> instance = datasets.make_instance("timik", num_users=20, num_items=60, num_slots=4, seed=7)
+>>> ours = run_avg_d(instance)
+>>> baseline = run_per(instance)
+>>> ours.objective >= baseline.objective
+True
+"""
+
+from repro.baselines import run_fmg, run_grf, run_per, run_sdp
+from repro.core import (
+    AlgorithmResult,
+    SAVGConfiguration,
+    SVGICInstance,
+    SVGICSTInstance,
+    evaluate,
+    evaluate_st,
+    run_avg,
+    run_avg_d,
+    scaled_total_utility,
+    solve_exact,
+    solve_lp_relaxation,
+    total_utility,
+)
+from repro.data import datasets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SVGICInstance",
+    "SVGICSTInstance",
+    "SAVGConfiguration",
+    "AlgorithmResult",
+    "evaluate",
+    "evaluate_st",
+    "total_utility",
+    "scaled_total_utility",
+    "solve_lp_relaxation",
+    "solve_exact",
+    "run_avg",
+    "run_avg_d",
+    "run_per",
+    "run_fmg",
+    "run_sdp",
+    "run_grf",
+    "datasets",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Baseline algorithms the paper compares against (Section 6.1).
+
+* :mod:`repro.baselines.personalized` — PER, personalized top-k retrieval
+  (the "personalized approach" of the introduction).
+* :mod:`repro.baselines.group` — FMG, fairness-aware group recommendation
+  selecting one bundled itemset for the whole group (the "group approach").
+* :mod:`repro.baselines.subgroup` — SDP (subgroup-by-friendship: dense
+  social subgroups, then per-subgroup itemsets) and GRF
+  (subgroup-by-preference: preference clustering, then per-cluster itemsets).
+* :mod:`repro.baselines.prepartition` — the pre-partitioning wrapper used to
+  give the baselines a fighting chance on SVGIC-ST (Section 6.8).
+
+All baselines return :class:`repro.core.result.AlgorithmResult`, so the
+experiment harness treats them exactly like AVG / AVG-D / IP.
+"""
+
+from repro.baselines.group import run_fmg
+from repro.baselines.personalized import run_per
+from repro.baselines.prepartition import balanced_prepartition, run_with_prepartition
+from repro.baselines.subgroup import run_grf, run_sdp
+
+__all__ = [
+    "run_per",
+    "run_fmg",
+    "run_sdp",
+    "run_grf",
+    "balanced_prepartition",
+    "run_with_prepartition",
+]

@@ -1,0 +1,38 @@
+"""PER — Personalized Top-k baseline (Section 1 "personalized approach", Section 6.1).
+
+Each user independently receives her k most preferred items, ordered by
+preference across the slots.  PER maximizes the preference part of the SAVG
+utility exactly (it is the optimal solution of the λ=0 special case) but
+ignores social utility entirely: co-displays only happen by coincidence,
+when two friends' ranked lists place the same item at the same rank.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.greedy import top_k_preference_configuration
+from repro.core.problem import SVGICInstance
+from repro.core.result import AlgorithmResult
+
+
+def run_per(instance: SVGICInstance, **_ignored: object) -> AlgorithmResult:
+    """Run the PER baseline on ``instance``.
+
+    Extra keyword arguments are accepted (and ignored) so that the experiment
+    harness can call every algorithm with a uniform signature.
+    """
+    start = time.perf_counter()
+    config = top_k_preference_configuration(instance)
+    elapsed = time.perf_counter() - start
+    return AlgorithmResult.from_configuration(
+        "PER",
+        instance,
+        config,
+        elapsed,
+        optimal=instance.social_weight == 0,
+        info={"note": "optimal for the lambda=0 special case"},
+    )
+
+
+__all__ = ["run_per"]

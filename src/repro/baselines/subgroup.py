@@ -1,0 +1,187 @@
+"""Static subgroup baselines: SDP (by friendship) and GRF (by preference).
+
+Both pre-partition the shopping group into *static* subgroups — the same
+partition is used at every display slot — and then select one bundled
+k-itemset per subgroup:
+
+* **SDP** ("Social-aware Diverse and Preference selection", [68]) partitions
+  by social topology (dense communities of the friendship graph) and selects
+  itemsets by the subgroup's aggregate SAVG value (preference plus
+  intra-subgroup social utility) — the "subgroup-by-friendship" approach of
+  the running example.
+* **GRF** ("Group Recommendation and Formation", [62]) clusters users by the
+  similarity of their preference vectors, ignoring the social network, and
+  selects itemsets by aggregate preference only — the
+  "subgroup-by-preference" approach.
+
+Because the partition cannot change across slots, neither method exploits the
+CID flexibility that AVG relies on; that is exactly the gap the paper
+measures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.group import _configuration_from_itemset, select_group_itemset
+from repro.core.configuration import SAVGConfiguration
+from repro.core.problem import SVGICInstance
+from repro.core.result import AlgorithmResult
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+# --------------------------------------------------------------------------- #
+# Partitioning strategies
+# --------------------------------------------------------------------------- #
+def friendship_communities(instance: SVGICInstance) -> List[List[int]]:
+    """Dense communities of the undirected friendship graph (greedy modularity).
+
+    Isolated users end up in singleton communities.
+    """
+    graph = instance.undirected_graph
+    if graph.number_of_edges() == 0:
+        return [[u] for u in range(instance.num_users)]
+    communities = nx.algorithms.community.greedy_modularity_communities(graph)
+    partition = [sorted(int(u) for u in community) for community in communities]
+    covered = {u for part in partition for u in part}
+    for u in range(instance.num_users):
+        if u not in covered:
+            partition.append([u])
+    return partition
+
+
+def preference_clusters(
+    instance: SVGICInstance,
+    num_clusters: Optional[int] = None,
+    *,
+    rng: SeedLike = None,
+    max_iterations: int = 50,
+) -> List[List[int]]:
+    """Cluster users by cosine similarity of preference vectors (simple k-means).
+
+    The implementation is a small, dependency-free spherical k-means: vectors
+    are L2-normalized, centroids re-estimated ``max_iterations`` times.
+    Empty clusters are dropped.
+    """
+    n = instance.num_users
+    if num_clusters is None:
+        num_clusters = max(1, int(round(np.sqrt(n / 2.0))) + 1) if n > 2 else 1
+        num_clusters = min(num_clusters, n)
+    if num_clusters <= 1:
+        return [list(range(n))]
+    generator = ensure_rng(rng)
+
+    vectors = instance.preference.astype(float).copy()
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    vectors = vectors / norms
+
+    centroid_ids = generator.choice(n, size=num_clusters, replace=False)
+    centroids = vectors[centroid_ids].copy()
+    labels = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        similarity = vectors @ centroids.T
+        new_labels = np.argmax(similarity, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for cluster in range(num_clusters):
+            members = np.nonzero(labels == cluster)[0]
+            if members.size == 0:
+                continue
+            centroid = vectors[members].mean(axis=0)
+            norm = np.linalg.norm(centroid)
+            centroids[cluster] = centroid / norm if norm > 0 else centroid
+    clusters = [sorted(int(u) for u in np.nonzero(labels == c)[0]) for c in range(num_clusters)]
+    return [cluster for cluster in clusters if cluster]
+
+
+# --------------------------------------------------------------------------- #
+# Itemset selection per subgroup
+# --------------------------------------------------------------------------- #
+def _preference_only_itemset(
+    instance: SVGICInstance, members: Sequence[int], num_items: int
+) -> List[int]:
+    """Top items by the subgroup's aggregate preference (GRF's selection rule)."""
+    totals = instance.preference[[int(u) for u in members]].sum(axis=0)
+    order = np.lexsort((np.arange(instance.num_items), -totals))
+    return [int(c) for c in order[:num_items]]
+
+
+def _subgroup_configuration(
+    instance: SVGICInstance,
+    partition: Sequence[Sequence[int]],
+    *,
+    use_social_value: bool,
+) -> SAVGConfiguration:
+    config = SAVGConfiguration.for_instance(instance)
+    for members in partition:
+        if not members:
+            continue
+        if use_social_value:
+            items = select_group_itemset(instance, members)
+        else:
+            items = _preference_only_itemset(instance, members, instance.num_slots)
+        _configuration_from_itemset(instance, members, items, config)
+    return config
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
+def run_sdp(
+    instance: SVGICInstance,
+    *,
+    communities: Optional[Sequence[Sequence[int]]] = None,
+    **_ignored: object,
+) -> AlgorithmResult:
+    """SDP baseline: friendship communities, itemsets by aggregate SAVG value.
+
+    ``communities`` overrides the detected partition (used by the paper's
+    running example, which fixes the partition {Alice, Dave} / {Bob, Charlie}).
+    """
+    start = time.perf_counter()
+    partition = (
+        [list(c) for c in communities] if communities is not None else friendship_communities(instance)
+    )
+    config = _subgroup_configuration(instance, partition, use_social_value=True)
+    config.validate(instance)
+    return AlgorithmResult.from_configuration(
+        "SDP", instance, config, time.perf_counter() - start,
+        info={"num_subgroups": len(partition), "partition": [list(p) for p in partition]},
+    )
+
+
+def run_grf(
+    instance: SVGICInstance,
+    *,
+    clusters: Optional[Sequence[Sequence[int]]] = None,
+    num_clusters: Optional[int] = None,
+    rng: SeedLike = None,
+    **_ignored: object,
+) -> AlgorithmResult:
+    """GRF baseline: preference clusters, itemsets by aggregate preference only."""
+    start = time.perf_counter()
+    partition = (
+        [list(c) for c in clusters]
+        if clusters is not None
+        else preference_clusters(instance, num_clusters, rng=rng)
+    )
+    config = _subgroup_configuration(instance, partition, use_social_value=False)
+    config.validate(instance)
+    return AlgorithmResult.from_configuration(
+        "GRF", instance, config, time.perf_counter() - start,
+        info={"num_subgroups": len(partition), "partition": [list(p) for p in partition]},
+    )
+
+
+__all__ = [
+    "friendship_communities",
+    "preference_clusters",
+    "run_sdp",
+    "run_grf",
+]

@@ -1,0 +1,63 @@
+"""Core SVGIC machinery: problem model, objectives, LP/IP formulations and the AVG family.
+
+This package contains the paper's primary contribution:
+
+* the problem model (:class:`~repro.core.problem.SVGICInstance`,
+  :class:`~repro.core.problem.SVGICSTInstance`,
+  :class:`~repro.core.configuration.SAVGConfiguration`);
+* objective evaluation (:mod:`repro.core.objective`);
+* the exact integer program (:mod:`repro.core.ip`), the LP relaxations
+  (:mod:`repro.core.lp`) and the trivial independent-rounding baseline
+  (:mod:`repro.core.rounding`);
+* the AVG randomized 4-approximation (:mod:`repro.core.avg`) and its
+  deterministic counterpart AVG-D (:mod:`repro.core.avg_d`);
+* SVGIC-ST helpers (:mod:`repro.core.svgic_st`).
+"""
+
+from repro.core.avg import csf_rounding, run_avg
+from repro.core.avg_d import run_avg_d
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.greedy import greedy_complete, top_k_preference_configuration
+from repro.core.ip import solve_exact
+from repro.core.lp import FractionalSolution, candidate_items, solve_lp_relaxation
+from repro.core.objective import (
+    UtilityBreakdown,
+    evaluate,
+    evaluate_st,
+    per_user_utility,
+    scaled_total_utility,
+    total_utility,
+    weighted_total_utility,
+)
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.result import AlgorithmResult
+from repro.core.rounding import independent_rounding, run_independent_rounding
+from repro.core.svgic_st import is_feasible, size_violation_report
+
+__all__ = [
+    "SVGICInstance",
+    "SVGICSTInstance",
+    "SAVGConfiguration",
+    "UNASSIGNED",
+    "AlgorithmResult",
+    "UtilityBreakdown",
+    "evaluate",
+    "evaluate_st",
+    "total_utility",
+    "scaled_total_utility",
+    "per_user_utility",
+    "weighted_total_utility",
+    "FractionalSolution",
+    "candidate_items",
+    "solve_lp_relaxation",
+    "solve_exact",
+    "run_avg",
+    "run_avg_d",
+    "csf_rounding",
+    "independent_rounding",
+    "run_independent_rounding",
+    "top_k_preference_configuration",
+    "greedy_complete",
+    "is_feasible",
+    "size_violation_report",
+]

@@ -1,0 +1,364 @@
+"""AVG — Alignment-aware VR Subgroup Formation (Section 4.2 and 4.4).
+
+AVG is the paper's randomized 4-approximation.  It solves the LP relaxation,
+interprets the fractional solution as *utility factors*, and repeatedly runs
+Co-display Subgroup Formation (CSF): sample focal parameters ``(c, s, α)``
+and co-display the focal item ``c`` at the focal slot ``s`` to every eligible
+user whose utility factor ``x*[u,c,s]`` reaches the grouping threshold ``α``.
+
+The implementation includes the two efficiency enhancements of Section 4.4:
+
+* the **advanced LP transformation** (the LP is solved in its compact
+  ``LP_SIMP`` form by default; see :mod:`repro.core.lp`), and
+* the **advanced focal-parameter sampling** scheme, which samples ``(c, s)``
+  proportionally to the maximum eligible utility factor ``x̄*_c_s`` and
+  ``α ~ U(0, x̄*_c_s]`` so every iteration assigns at least one display unit
+  (Observation 3 shows the outcome distribution is unchanged).
+
+It also supports the SVGIC-ST extension: when the instance carries a
+subgroup-size constraint ``M``, CSF adds eligible users in decreasing
+utility-factor order and locks the (item, slot) cell once ``M`` users share
+it (Section 4.4, "Extending AVG for SVGIC-ST").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.greedy import greedy_complete, top_k_preference_configuration
+from repro.core.lp import FractionalSolution, solve_lp_relaxation
+from repro.core.objective import total_utility
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.result import AlgorithmResult
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class CSFStatistics:
+    """Bookkeeping of one CSF rounding pass."""
+
+    iterations: int = 0
+    idle_iterations: int = 0
+    subgroups_formed: int = 0
+    fallback_assignments: int = 0
+    locked_cells: int = 0
+
+
+class _RoundingState:
+    """Mutable state shared by the CSF iterations of a single rounding pass."""
+
+    def __init__(self, instance: SVGICInstance, size_limit: Optional[int]) -> None:
+        self.instance = instance
+        self.config = SAVGConfiguration.for_instance(instance)
+        self.items_used: List[set] = [set() for _ in range(instance.num_users)]
+        self.unfilled_per_user = np.full(instance.num_users, instance.num_slots, dtype=np.int64)
+        self.size_limit = size_limit
+        self.cell_counts: Dict[Tuple[int, int], int] = {}
+        self.locked_cells: set = set()
+
+    def slot_open(self, user: int, slot: int) -> bool:
+        return self.config.assignment[user, slot] == UNASSIGNED
+
+    def eligible(self, user: int, item: int, slot: int) -> bool:
+        """User is eligible for (item, slot): slot open and item not yet shown to user."""
+        return self.slot_open(user, slot) and item not in self.items_used[user]
+
+    def assign(self, user: int, item: int, slot: int) -> None:
+        self.config.assignment[user, slot] = item
+        self.items_used[user].add(item)
+        self.unfilled_per_user[user] -= 1
+        if self.size_limit is not None:
+            key = (item, slot)
+            self.cell_counts[key] = self.cell_counts.get(key, 0) + 1
+            if self.cell_counts[key] >= self.size_limit:
+                self.locked_cells.add(key)
+
+    def complete(self) -> bool:
+        return bool(np.all(self.unfilled_per_user == 0))
+
+
+def _sorted_user_lists(
+    instance: SVGICInstance, fractional: FractionalSolution
+) -> Dict[Tuple[int, int], List[Tuple[float, int]]]:
+    """For each (item, slot) with positive LP mass, users sorted by decreasing x*."""
+    lists: Dict[Tuple[int, int], List[Tuple[float, int]]] = {}
+    compact = fractional.compact_factors
+    k = instance.num_slots
+    positive_items = np.nonzero(compact.sum(axis=0) > 1e-12)[0]
+    slot_independent = fractional.formulation == "simplified"
+    for item in positive_items:
+        item = int(item)
+        if slot_independent:
+            values = compact[:, item] / k
+            users = np.nonzero(values > 1e-12)[0]
+            ranked = sorted(((float(values[u]), int(u)) for u in users), reverse=True)
+            for slot in range(k):
+                lists[(item, slot)] = ranked
+        else:
+            for slot in range(k):
+                values = fractional.slot_factors[:, item, slot]
+                users = np.nonzero(values > 1e-12)[0]
+                if users.size == 0:
+                    continue
+                lists[(item, slot)] = sorted(
+                    ((float(values[u]), int(u)) for u in users), reverse=True
+                )
+    return lists
+
+
+def csf_rounding(
+    instance: SVGICInstance,
+    fractional: FractionalSolution,
+    *,
+    rng: SeedLike = None,
+    advanced_sampling: bool = True,
+    size_limit: Optional[int] = None,
+    max_iterations: Optional[int] = None,
+) -> Tuple[SAVGConfiguration, CSFStatistics]:
+    """One randomized CSF rounding pass over the fractional solution ``X*``.
+
+    Parameters
+    ----------
+    advanced_sampling:
+        ``True`` — the Section-4.4 scheme (sample ``(c, s)`` proportionally to
+        the maximum eligible factor, ``α ~ U(0, max]``); every iteration makes
+        progress.  ``False`` — the plain Algorithm-2 scheme (uniform ``(c, s)``,
+        ``α ~ U(0, 1]``) with idle iterations, used by the Figure-9(b)
+        ablation; after ``max_iterations`` idle-heavy iterations the pass
+        falls back to the advanced scheme so that it always terminates.
+    size_limit:
+        Optional subgroup-size cap ``M`` (SVGIC-ST).
+    """
+    generator = ensure_rng(rng)
+    stats = CSFStatistics()
+    state = _RoundingState(instance, size_limit)
+    user_lists = _sorted_user_lists(instance, fractional)
+    if max_iterations is None:
+        max_iterations = 200 * instance.num_users * instance.num_slots
+
+    if advanced_sampling:
+        _advanced_sampling_loop(state, user_lists, generator, stats)
+    else:
+        _uniform_sampling_loop(state, user_lists, generator, stats, max_iterations)
+        if not state.complete():
+            # Safety net: finish with the advanced scheme (identical outcome
+            # distribution, Observation 3), so the ablation never hangs.
+            _advanced_sampling_loop(state, user_lists, generator, stats)
+
+    if not state.complete():
+        before = int(np.count_nonzero(state.config.assignment == UNASSIGNED))
+        greedy_complete(instance, state.config, size_limit=size_limit)
+        stats.fallback_assignments += before
+    stats.locked_cells = len(state.locked_cells)
+    return state.config, stats
+
+
+def _current_head(
+    state: _RoundingState,
+    key: Tuple[int, int],
+    ranked: List[Tuple[float, int]],
+    pointers: Dict[Tuple[int, int], int],
+) -> Optional[float]:
+    """Largest utility factor among users still eligible for ``key``; None if none."""
+    item, slot = key
+    ptr = pointers.get(key, 0)
+    while ptr < len(ranked) and not state.eligible(ranked[ptr][1], item, slot):
+        ptr += 1
+    pointers[key] = ptr
+    if ptr >= len(ranked):
+        return None
+    return ranked[ptr][0]
+
+
+def _apply_csf(
+    state: _RoundingState,
+    key: Tuple[int, int],
+    ranked: List[Tuple[float, int]],
+    alpha: float,
+    stats: CSFStatistics,
+) -> int:
+    """Co-display the focal item to every eligible user with x* >= alpha; return #assigned."""
+    item, slot = key
+    assigned = 0
+    for value, user in ranked:
+        if value < alpha:
+            break
+        if key in state.locked_cells:
+            break
+        if not state.eligible(user, item, slot):
+            continue
+        state.assign(user, item, slot)
+        assigned += 1
+    if assigned:
+        stats.subgroups_formed += 1
+    return assigned
+
+
+def _advanced_sampling_loop(
+    state: _RoundingState,
+    user_lists: Dict[Tuple[int, int], List[Tuple[float, int]]],
+    generator: np.random.Generator,
+    stats: CSFStatistics,
+) -> None:
+    pointers: Dict[Tuple[int, int], int] = {}
+    active_keys = [key for key in user_lists if key not in state.locked_cells]
+
+    while not state.complete():
+        keys: List[Tuple[int, int]] = []
+        weights: List[float] = []
+        still_active: List[Tuple[int, int]] = []
+        for key in active_keys:
+            if key in state.locked_cells:
+                continue
+            head = _current_head(state, key, user_lists[key], pointers)
+            if head is None:
+                continue
+            still_active.append(key)
+            keys.append(key)
+            weights.append(head)
+        active_keys = still_active
+        if not keys:
+            # No (item, slot) with positive mass can make progress; the greedy
+            # completion in the caller handles the remaining units.
+            return
+        weight_arr = np.asarray(weights, dtype=float)
+        probabilities = weight_arr / weight_arr.sum()
+        choice = int(generator.choice(len(keys), p=probabilities))
+        key = keys[choice]
+        alpha = float(generator.uniform(0.0, weight_arr[choice]))
+        # Guard against alpha == 0 exactly (open interval in the paper).
+        alpha = max(alpha, 1e-15)
+        stats.iterations += 1
+        assigned = _apply_csf(state, key, user_lists[key], alpha, stats)
+        if assigned == 0:
+            stats.idle_iterations += 1
+
+
+def _uniform_sampling_loop(
+    state: _RoundingState,
+    user_lists: Dict[Tuple[int, int], List[Tuple[float, int]]],
+    generator: np.random.Generator,
+    stats: CSFStatistics,
+    max_iterations: int,
+) -> None:
+    instance = state.instance
+    keys = list(user_lists.keys())
+    if not keys:
+        return
+    while not state.complete() and stats.iterations < max_iterations:
+        stats.iterations += 1
+        item = int(generator.integers(0, instance.num_items))
+        slot = int(generator.integers(0, instance.num_slots))
+        alpha = float(generator.uniform(0.0, 1.0))
+        alpha = max(alpha, 1e-15)
+        key = (item, slot)
+        ranked = user_lists.get(key)
+        if ranked is None or key in state.locked_cells:
+            stats.idle_iterations += 1
+            continue
+        assigned = _apply_csf(state, key, ranked, alpha, stats)
+        if assigned == 0:
+            stats.idle_iterations += 1
+
+
+def run_avg(
+    instance: SVGICInstance,
+    fractional: Optional[FractionalSolution] = None,
+    *,
+    rng: SeedLike = None,
+    repetitions: int = 1,
+    advanced_sampling: bool = True,
+    lp_formulation: str = "simplified",
+    prune_items: bool = True,
+    max_candidate_items: Optional[int] = None,
+    algorithm_name: str = "AVG",
+) -> AlgorithmResult:
+    """Run the full AVG pipeline (LP relaxation + randomized CSF rounding).
+
+    Parameters
+    ----------
+    fractional:
+        Reuse a pre-computed fractional solution (e.g. shared across the
+        repetitions of an experiment); solved on demand otherwise.
+    repetitions:
+        Number of independent rounding passes; the best configuration is
+        returned (Corollary 4.1: ``O(log n)`` repetitions give ``4 + ε``
+        with high probability).
+    advanced_sampling / lp_formulation:
+        Toggles for the Section-4.4 enhancements (used by the Figure-9(b)
+        ablation: ``AVG–AS`` and ``AVG–ALP``).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    generator = ensure_rng(rng)
+    start = time.perf_counter()
+
+    # λ = 0 is the trivial special case: the optimum is each user's top-k.
+    if instance.social_weight == 0:
+        config = top_k_preference_configuration(instance)
+        return AlgorithmResult.from_configuration(
+            algorithm_name, instance, config, time.perf_counter() - start,
+            optimal=True, info={"special_case": "lambda=0"},
+        )
+
+    if fractional is None:
+        fractional = solve_lp_relaxation(
+            instance,
+            formulation=lp_formulation,
+            prune_items=prune_items,
+            max_candidate_items=max_candidate_items,
+        )
+
+    size_limit = (
+        instance.max_subgroup_size if isinstance(instance, SVGICSTInstance) else None
+    )
+
+    best_config: Optional[SAVGConfiguration] = None
+    best_value = -np.inf
+    total_stats = CSFStatistics()
+    for _ in range(repetitions):
+        config, stats = csf_rounding(
+            instance,
+            fractional,
+            rng=generator,
+            advanced_sampling=advanced_sampling,
+            size_limit=size_limit,
+        )
+        total_stats.iterations += stats.iterations
+        total_stats.idle_iterations += stats.idle_iterations
+        total_stats.subgroups_formed += stats.subgroups_formed
+        total_stats.fallback_assignments += stats.fallback_assignments
+        total_stats.locked_cells += stats.locked_cells
+        value = total_utility(instance, config)
+        if value > best_value:
+            best_value = value
+            best_config = config
+
+    assert best_config is not None
+    best_config.validate(instance)
+    elapsed = time.perf_counter() - start
+    return AlgorithmResult.from_configuration(
+        algorithm_name,
+        instance,
+        best_config,
+        elapsed,
+        info={
+            "lp_objective": fractional.objective,
+            "lp_seconds": fractional.lp_seconds,
+            "lp_formulation": fractional.formulation,
+            "repetitions": repetitions,
+            "iterations": total_stats.iterations,
+            "idle_iterations": total_stats.idle_iterations,
+            "subgroups_formed": total_stats.subgroups_formed,
+            "fallback_assignments": total_stats.fallback_assignments,
+            "advanced_sampling": advanced_sampling,
+        },
+    )
+
+
+__all__ = ["CSFStatistics", "csf_rounding", "run_avg"]

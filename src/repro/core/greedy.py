@@ -1,0 +1,83 @@
+"""Small greedy building blocks shared by algorithms and baselines.
+
+* :func:`top_k_preference_configuration` — each user independently receives
+  her top-k preferred items, ranked best-first across slots.  This is both
+  the λ=0 special case of SVGIC (where it is exactly optimal, Section 4.4)
+  and the PER baseline of Section 6.1.
+* :func:`greedy_complete` — fill any unassigned display units of a partial
+  configuration with the best not-yet-displayed item per user.  Used as a
+  safety net by the rounding algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.problem import SVGICInstance
+
+
+def top_k_preference_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """Assign each user her ``k`` most preferred items, best item at slot 1.
+
+    Ties are broken by item index (deterministic).
+    """
+    n, k = instance.num_users, instance.num_slots
+    config = SAVGConfiguration.for_instance(instance)
+    for user in range(n):
+        # Stable sort on (-preference, item index) for deterministic output.
+        order = np.lexsort((np.arange(instance.num_items), -instance.preference[user]))
+        config.assignment[user, :] = order[:k]
+    return config
+
+
+def greedy_complete(
+    instance: SVGICInstance,
+    config: SAVGConfiguration,
+    *,
+    size_limit: int | None = None,
+) -> SAVGConfiguration:
+    """Fill every unassigned display unit with the user's best unused item (in place).
+
+    With ``size_limit`` set (SVGIC-ST), an item is skipped at a slot whose
+    subgroup for that item is already full; feasibility is always possible
+    because instances guarantee ``size_limit * num_items >= num_users``.
+    Returns the same configuration object for chaining.
+    """
+    cell_counts: dict = {}
+    if size_limit is not None:
+        for slot in range(instance.num_slots):
+            for item, members in config.subgroups_at_slot(slot).items():
+                cell_counts[(item, slot)] = len(members)
+
+    for user in range(instance.num_users):
+        row = config.assignment[user]
+        if not np.any(row == UNASSIGNED):
+            continue
+        used = set(int(c) for c in row if c != UNASSIGNED)
+        order = np.lexsort((np.arange(instance.num_items), -instance.preference[user]))
+        for slot in range(instance.num_slots):
+            if row[slot] != UNASSIGNED:
+                continue
+            chosen = None
+            for candidate in order:
+                candidate = int(candidate)
+                if candidate in used:
+                    continue
+                if (
+                    size_limit is not None
+                    and cell_counts.get((candidate, slot), 0) >= size_limit
+                ):
+                    continue
+                chosen = candidate
+                break
+            if chosen is None:
+                raise RuntimeError("ran out of items while completing configuration")
+            config.assignment[user, slot] = chosen
+            used.add(chosen)
+            if size_limit is not None:
+                cell_counts[(chosen, slot)] = cell_counts.get((chosen, slot), 0) + 1
+    return config
+
+
+__all__ = ["top_k_preference_configuration", "greedy_complete"]

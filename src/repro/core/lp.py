@@ -1,0 +1,314 @@
+"""LP relaxations of SVGIC (Section 4.1) and the compact transformation (Section 4.4).
+
+Two formulations are provided:
+
+* ``"full"`` — the straightforward relaxation ``LP_SVGIC`` with per-slot
+  variables ``x[u,c,s]`` and ``y[e,c,s]`` (O((n+|E|)·m·k) variables).
+* ``"simplified"`` — the advanced LP transformation ``LP_SIMP`` with
+  slot-aggregated variables ``x[u,c]`` and ``y[e,c]`` (O((n+|E|)·m)); by
+  Observation 2 of the paper both have the same optimal objective and the
+  per-slot utility factors are recovered as ``x*[u,c,s] = x[u,c] / k``.
+
+Both produce a :class:`FractionalSolution` whose objective value is an upper
+bound on the SVGIC optimum, and whose slot utility factors drive the AVG /
+AVG-D rounding schemes.
+
+The paper solves the LP with Gurobi/CPLEX at ``m = 10,000`` items; HiGHS at
+that scale is slow, so :func:`candidate_items` implements the pruning the
+paper itself observes is harmless ("any user's top preferred items are
+already contained in the top-100 items", Section 6.2): the LP is built on a
+union of per-user top items, and every pruned item keeps a zero utility
+factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.solvers.linprog import LinearProgram, LPResult
+
+
+@dataclass
+class FractionalSolution:
+    """Optimal fractional solution ``X*`` of an SVGIC LP relaxation.
+
+    Attributes
+    ----------
+    compact_factors:
+        ``(n, m)`` array of slot-aggregated factors ``x̄[u, c]`` with
+        ``sum_c x̄[u, c] = k`` and ``x̄ <= 1``.
+    slot_factors:
+        ``(n, m, k)`` per-slot utility factors ``x*[u, c, s]``.  For the
+        simplified formulation these equal ``x̄ / k`` for every slot.
+    objective:
+        LP optimum on the Definition-3 (true) utility scale — an upper bound
+        on the SVGIC optimum.
+    lp_seconds:
+        Time spent in the LP solver.
+    formulation:
+        ``"simplified"`` or ``"full"``.
+    candidate_item_ids:
+        Item ids (original index space) that carried LP variables.
+    """
+
+    compact_factors: np.ndarray
+    slot_factors: np.ndarray
+    objective: float
+    lp_seconds: float
+    formulation: str
+    candidate_item_ids: np.ndarray
+
+    @property
+    def num_users(self) -> int:
+        return int(self.compact_factors.shape[0])
+
+    @property
+    def num_items(self) -> int:
+        return int(self.compact_factors.shape[1])
+
+    @property
+    def num_slots(self) -> int:
+        return int(self.slot_factors.shape[2])
+
+    def scaled_objective(self, instance: SVGICInstance) -> float:
+        """LP optimum on the scaled (lambda=1/2 x2) objective scale."""
+        return instance.true_to_scaled_objective(self.objective)
+
+
+def candidate_items(
+    instance: SVGICInstance,
+    max_items: Optional[int] = None,
+    *,
+    per_user_extra: int = 2,
+) -> np.ndarray:
+    """Select a candidate item subset for the LP (pruning step).
+
+    The candidate set is the union over users of each user's top
+    ``k + per_user_extra`` items ranked by
+    ``(1 - lambda) p(u, c) + lambda * (outgoing social mass of u on c)``,
+    optionally truncated to ``max_items`` by global score.  The returned
+    array is sorted and always contains at least ``k`` items.
+    """
+    n, m, k = instance.num_users, instance.num_items, instance.num_slots
+    lam = instance.social_weight
+    score = (1.0 - lam) * instance.preference.copy()
+    for e in range(instance.num_edges):
+        u = int(instance.edges[e, 0])
+        score[u] += lam * instance.social[e]
+
+    per_user = min(m, k + max(0, per_user_extra))
+    chosen: set = set()
+    for u in range(n):
+        top = np.argpartition(-score[u], per_user - 1)[:per_user]
+        chosen.update(int(c) for c in top)
+
+    if max_items is not None and len(chosen) > max_items:
+        global_score = score.sum(axis=0)
+        ranked = sorted(chosen, key=lambda c: -global_score[c])
+        chosen = set(ranked[: max(max_items, k)])
+    if len(chosen) < k:
+        # Degenerate instance (e.g. all-zero utilities): pad with arbitrary items.
+        for c in range(m):
+            chosen.add(c)
+            if len(chosen) >= k:
+                break
+    return np.asarray(sorted(chosen), dtype=np.int64)
+
+
+def solve_lp_relaxation(
+    instance: SVGICInstance,
+    *,
+    formulation: str = "simplified",
+    max_candidate_items: Optional[int] = None,
+    prune_items: bool = True,
+    enforce_size_constraint: bool = True,
+) -> FractionalSolution:
+    """Solve the LP relaxation of ``instance`` and return its fractional solution.
+
+    Parameters
+    ----------
+    instance:
+        An :class:`SVGICInstance` or :class:`SVGICSTInstance`.  For the latter
+        and ``enforce_size_constraint=True``, a valid aggregate relaxation of
+        the subgroup-size constraint is added
+        (``sum_u x[u,c,s] <= M`` per slot in the full formulation,
+        ``sum_u x̄[u,c] <= M·k`` in the simplified one).
+    formulation:
+        ``"simplified"`` (default, the Section-4.4 transformation) or ``"full"``.
+    max_candidate_items / prune_items:
+        Control the candidate-item pruning described in the module docstring.
+    """
+    if formulation not in {"simplified", "full"}:
+        raise ValueError(f"unknown formulation {formulation!r}; use 'simplified' or 'full'")
+
+    if prune_items and instance.num_items > instance.num_slots:
+        items = candidate_items(instance, max_candidate_items)
+    else:
+        items = np.arange(instance.num_items, dtype=np.int64)
+
+    if formulation == "simplified":
+        compact, objective, seconds = _solve_simplified(instance, items, enforce_size_constraint)
+        # Broadcast view (read-only): x*[u,c,s] = x̄[u,c] / k for every slot.
+        slot = np.broadcast_to(
+            (compact / instance.num_slots)[:, :, None],
+            (instance.num_users, instance.num_items, instance.num_slots),
+        )
+    else:
+        slot, objective, seconds = _solve_full(instance, items, enforce_size_constraint)
+        compact = slot.sum(axis=2)
+
+    return FractionalSolution(
+        compact_factors=compact,
+        slot_factors=slot,
+        objective=objective,
+        lp_seconds=seconds,
+        formulation=formulation,
+        candidate_item_ids=items,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Simplified formulation (LP_SIMP)
+# --------------------------------------------------------------------------- #
+def _solve_simplified(
+    instance: SVGICInstance,
+    items: np.ndarray,
+    enforce_size_constraint: bool,
+) -> Tuple[np.ndarray, float, float]:
+    n, k = instance.num_users, instance.num_slots
+    lam = instance.social_weight
+    pairs = instance.pairs
+    pair_social = instance.pair_social
+    num_pairs = pairs.shape[0]
+    mc = items.shape[0]
+
+    num_x = n * mc
+    num_y = num_pairs * mc
+    lp = LinearProgram(num_x + num_y)
+
+    def x_var(u: int, ci: int) -> int:
+        return u * mc + ci
+
+    def y_var(p: int, ci: int) -> int:
+        return num_x + p * mc + ci
+
+    # Objective: (1-lambda) p(u,c) x[u,c]  +  lambda w_e(c) y[e,c]
+    pref = instance.preference[:, items]
+    for u in range(n):
+        for ci in range(mc):
+            coeff = (1.0 - lam) * pref[u, ci]
+            if coeff:
+                lp.set_objective_coefficient(x_var(u, ci), coeff)
+    w = pair_social[:, items]
+    for p in range(num_pairs):
+        for ci in range(mc):
+            coeff = lam * w[p, ci]
+            if coeff:
+                lp.set_objective_coefficient(y_var(p, ci), coeff)
+
+    # sum_c x[u,c] = k
+    for u in range(n):
+        lp.add_eq_constraint([(x_var(u, ci), 1.0) for ci in range(mc)], float(k))
+
+    # y[e,c] <= x[u,c] and y[e,c] <= x[v,c]
+    for p in range(num_pairs):
+        u, v = int(pairs[p, 0]), int(pairs[p, 1])
+        for ci in range(mc):
+            if w[p, ci] <= 0:
+                continue  # y would be 0 at optimum; omit for sparsity
+            lp.add_le_constraint([(y_var(p, ci), 1.0), (x_var(u, ci), -1.0)], 0.0)
+            lp.add_le_constraint([(y_var(p, ci), 1.0), (x_var(v, ci), -1.0)], 0.0)
+
+    # Aggregate relaxation of the subgroup size constraint (SVGIC-ST only).
+    if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
+        cap = float(instance.max_subgroup_size * k)
+        if cap < n * 1.0:  # otherwise the constraint is vacuous
+            for ci in range(mc):
+                lp.add_le_constraint([(x_var(u, ci), 1.0) for u in range(n)], cap)
+
+    result = lp.solve()
+    values = result.values
+    compact = np.zeros((n, instance.num_items), dtype=float)
+    x_block = values[:num_x].reshape(n, mc)
+    compact[:, items] = np.clip(x_block, 0.0, 1.0)
+    return compact, result.objective, result.solve_seconds
+
+
+# --------------------------------------------------------------------------- #
+# Full formulation (LP_SVGIC)
+# --------------------------------------------------------------------------- #
+def _solve_full(
+    instance: SVGICInstance,
+    items: np.ndarray,
+    enforce_size_constraint: bool,
+) -> Tuple[np.ndarray, float, float]:
+    n, k = instance.num_users, instance.num_slots
+    lam = instance.social_weight
+    pairs = instance.pairs
+    pair_social = instance.pair_social
+    num_pairs = pairs.shape[0]
+    mc = items.shape[0]
+
+    num_x = n * mc * k
+    num_y = num_pairs * mc * k
+    lp = LinearProgram(num_x + num_y)
+
+    def x_var(u: int, ci: int, s: int) -> int:
+        return (u * mc + ci) * k + s
+
+    def y_var(p: int, ci: int, s: int) -> int:
+        return num_x + (p * mc + ci) * k + s
+
+    pref = instance.preference[:, items]
+    for u in range(n):
+        for ci in range(mc):
+            coeff = (1.0 - lam) * pref[u, ci]
+            if coeff:
+                for s in range(k):
+                    lp.set_objective_coefficient(x_var(u, ci, s), coeff)
+    w = pair_social[:, items]
+    for p in range(num_pairs):
+        for ci in range(mc):
+            coeff = lam * w[p, ci]
+            if coeff:
+                for s in range(k):
+                    lp.set_objective_coefficient(y_var(p, ci, s), coeff)
+
+    # (1) no-duplication: sum_s x[u,c,s] <= 1
+    for u in range(n):
+        for ci in range(mc):
+            lp.add_le_constraint([(x_var(u, ci, s), 1.0) for s in range(k)], 1.0)
+    # (2) one item per (user, slot): sum_c x[u,c,s] = 1
+    for u in range(n):
+        for s in range(k):
+            lp.add_eq_constraint([(x_var(u, ci, s), 1.0) for ci in range(mc)], 1.0)
+    # (5)(6) co-display coupling
+    for p in range(num_pairs):
+        u, v = int(pairs[p, 0]), int(pairs[p, 1])
+        for ci in range(mc):
+            if w[p, ci] <= 0:
+                continue
+            for s in range(k):
+                lp.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(u, ci, s), -1.0)], 0.0)
+                lp.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(v, ci, s), -1.0)], 0.0)
+
+    if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
+        cap = float(instance.max_subgroup_size)
+        if cap < n:
+            for ci in range(mc):
+                for s in range(k):
+                    lp.add_le_constraint([(x_var(u, ci, s), 1.0) for u in range(n)], cap)
+
+    result = lp.solve()
+    values = result.values
+    slot = np.zeros((n, instance.num_items, k), dtype=float)
+    x_block = values[:num_x].reshape(n, mc, k)
+    slot[:, items, :] = np.clip(x_block, 0.0, 1.0)
+    return slot, result.objective, result.solve_seconds
+
+
+__all__ = ["FractionalSolution", "candidate_items", "solve_lp_relaxation"]

@@ -1,0 +1,31 @@
+"""Data substrates: synthetic social graphs, utility models, datasets, and the paper example.
+
+The paper's evaluation inputs (Timik / Epinions / Yelp check-in and review
+data, PIERT/AGREE/GREE-learned utilities, and a VR user study) are not
+redistributable; this package provides synthetic substitutes that preserve
+the structural characteristics the evaluation relies on.  See DESIGN.md for
+the substitution table.
+"""
+
+from repro.data import adversarial, datasets, example_paper, social_graphs, user_study, utility_models
+from repro.data.datasets import (
+    ego_network_instance,
+    make_instance,
+    make_st_instance,
+    small_sampled_instance,
+)
+from repro.data.example_paper import paper_example_instance
+
+__all__ = [
+    "adversarial",
+    "datasets",
+    "example_paper",
+    "social_graphs",
+    "user_study",
+    "utility_models",
+    "make_instance",
+    "make_st_instance",
+    "small_sampled_instance",
+    "ego_network_instance",
+    "paper_example_instance",
+]

@@ -1,0 +1,108 @@
+"""Adversarial / analytical instances from the paper's theory sections.
+
+* :func:`group_gap_instance` — the instance ``I_G`` of Theorem 1: ``n`` users
+  with disjoint favourite itemsets and no social edges; the optimal SVGIC
+  solution beats the best *group* (single shared itemset) solution by a
+  factor of exactly ``n``.
+* :func:`personalized_gap_instance` — the instance ``I_P`` of Theorem 1: a
+  complete friendship graph, uniform social utility, and near-uniform
+  preferences; the optimal SVGIC solution beats the best *personalized*
+  solution by ``Θ(n)``.
+* :func:`indifferent_instance` — the Lemma-3 instance (all users indifferent
+  among all items, constant social utility) on which independent rounding
+  only achieves ``O(1/m)`` of the optimum while CSF recovers it.
+
+These are used by the property tests and by the Theorem-1 gap benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SVGICInstance
+
+
+def group_gap_instance(num_users: int, num_slots: int = 2) -> SVGICInstance:
+    """Theorem 1, instance ``I_G``: disjoint favourites, empty social network.
+
+    Each user ``u_i`` prefers exactly the ``k`` items
+    ``{c_i, c_{n+i}, ..., c_{(k-1)n+i}}`` with utility 1 and everything else
+    with 0; there are no social edges.  ``OPT / OPT_G = n``.
+    """
+    n, k = num_users, num_slots
+    m = n * k
+    preference = np.zeros((n, m))
+    for u in range(n):
+        for j in range(k):
+            preference[u, j * n + u] = 1.0
+    return SVGICInstance(
+        num_users=n,
+        num_items=m,
+        num_slots=k,
+        social_weight=0.5,
+        preference=preference,
+        edges=np.empty((0, 2), dtype=np.int64),
+        social=np.empty((0, m)),
+        name="theorem1-IG",
+    )
+
+
+def personalized_gap_instance(
+    num_users: int, num_slots: int = 2, epsilon: float = 1e-3, social_weight: float = 0.5
+) -> SVGICInstance:
+    """Theorem 1, instance ``I_P``: complete graph, uniform tau, near-uniform preferences.
+
+    Each user prefers her personal itemset only ``epsilon`` more than every
+    other item, while any co-display yields social utility 1 per directed
+    edge; the personalized approach forfeits all of it.
+    """
+    n, k = num_users, num_slots
+    m = n * k
+    preference = np.full((n, m), 1.0 - epsilon)
+    for u in range(n):
+        for j in range(k):
+            preference[u, j * n + u] = 1.0
+    edges = np.asarray(
+        [(u, v) for u in range(n) for v in range(n) if u != v], dtype=np.int64
+    )
+    social = np.ones((edges.shape[0], m))
+    return SVGICInstance(
+        num_users=n,
+        num_items=m,
+        num_slots=k,
+        social_weight=social_weight,
+        preference=preference,
+        edges=edges,
+        social=social,
+        name="theorem1-IP",
+    )
+
+
+def indifferent_instance(
+    num_users: int, num_items: int, num_slots: int = 2, tau: float = 1.0
+) -> SVGICInstance:
+    """Lemma 3 instance: zero preferences, constant social utility on a complete graph.
+
+    The optimum co-displays an arbitrary distinct item per slot to everyone;
+    independent rounding hits a common item only with probability ``1/m`` per
+    pair and slot.
+    """
+    n, m, k = num_users, num_items, num_slots
+    preference = np.zeros((n, m))
+    edges = np.asarray(
+        [(u, v) for u in range(n) for v in range(n) if u != v], dtype=np.int64
+    )
+    social = np.full((edges.shape[0], m), float(tau))
+    return SVGICInstance(
+        num_users=n,
+        num_items=m,
+        num_slots=k,
+        social_weight=0.5,
+        preference=preference,
+        edges=edges,
+        social=social,
+        name="lemma3-indifferent",
+    )
+
+
+__all__ = ["group_gap_instance", "personalized_gap_instance", "indifferent_instance"]

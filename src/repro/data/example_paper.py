@@ -1,0 +1,223 @@
+"""The paper's running example (Example 1/2, Tables 1 and 6-9).
+
+Four shoppers — Alice, Bob, Charlie and Dave — visit a VR store of digital
+photography with five items (tripod, DSLR camera, portable storage device,
+memory card, self-portrait camera) and three display slots.  Table 1 of the
+paper gives the preference utilities ``p(u, c)`` and social utilities
+``tau(u, v, c)``; the social network contains the directed friend relations
+appearing in that table (Alice-Bob, Alice-Charlie, Alice-Dave and
+Bob-Charlie, in both directions where listed).
+
+This instance is used throughout the test suite to pin down the numbers the
+paper reports for it:
+
+* the optimal SAVG 3-configuration reaches a scaled utility of 10.35,
+* AVG-D reaches 9.85 and one AVG run reaches 9.75 (Examples 4/5),
+* the personalized / group / subgroup-by-friendship / subgroup-by-preference
+  approaches reach 8.25 / 8.35 / 8.4 / 8.7 (Table 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.configuration import SAVGConfiguration
+from repro.core.problem import SVGICInstance
+
+USERS: Tuple[str, ...] = ("Alice", "Bob", "Charlie", "Dave")
+ITEMS: Tuple[str, ...] = ("c1", "c2", "c3", "c4", "c5")
+ITEM_NAMES: Dict[str, str] = {
+    "c1": "Tripod",
+    "c2": "DSLR Camera",
+    "c3": "PSD",
+    "c4": "Memory Card",
+    "c5": "SP Camera",
+}
+
+#: Preference utilities p(u, c) — Table 1, first four columns.
+PREFERENCES: Dict[Tuple[str, str], float] = {
+    ("Alice", "c1"): 0.8, ("Bob", "c1"): 0.7, ("Charlie", "c1"): 0.0, ("Dave", "c1"): 0.1,
+    ("Alice", "c2"): 0.85, ("Bob", "c2"): 1.0, ("Charlie", "c2"): 0.15, ("Dave", "c2"): 0.0,
+    ("Alice", "c3"): 0.1, ("Bob", "c3"): 0.15, ("Charlie", "c3"): 0.7, ("Dave", "c3"): 0.3,
+    ("Alice", "c4"): 0.05, ("Bob", "c4"): 0.2, ("Charlie", "c4"): 0.6, ("Dave", "c4"): 1.0,
+    ("Alice", "c5"): 1.0, ("Bob", "c5"): 0.1, ("Charlie", "c5"): 0.1, ("Dave", "c5"): 0.95,
+}
+
+#: Social utilities tau(u, v, c) — Table 1, remaining columns.
+SOCIAL: Dict[Tuple[str, str, str], float] = {
+    # tau(Alice, Bob, .)
+    ("Alice", "Bob", "c1"): 0.2, ("Alice", "Bob", "c2"): 0.05, ("Alice", "Bob", "c3"): 0.1,
+    ("Alice", "Bob", "c4"): 0.0, ("Alice", "Bob", "c5"): 0.05,
+    # tau(Alice, Charlie, .)
+    ("Alice", "Charlie", "c1"): 0.0, ("Alice", "Charlie", "c2"): 0.05,
+    ("Alice", "Charlie", "c3"): 0.1, ("Alice", "Charlie", "c4"): 0.0,
+    ("Alice", "Charlie", "c5"): 0.3,
+    # tau(Alice, Dave, .)
+    ("Alice", "Dave", "c1"): 0.2, ("Alice", "Dave", "c2"): 0.05, ("Alice", "Dave", "c3"): 0.1,
+    ("Alice", "Dave", "c4"): 0.05, ("Alice", "Dave", "c5"): 0.2,
+    # tau(Bob, Alice, .)
+    ("Bob", "Alice", "c1"): 0.2, ("Bob", "Alice", "c2"): 0.05, ("Bob", "Alice", "c3"): 0.1,
+    ("Bob", "Alice", "c4"): 0.05, ("Bob", "Alice", "c5"): 0.05,
+    # tau(Bob, Charlie, .)
+    ("Bob", "Charlie", "c1"): 0.0, ("Bob", "Charlie", "c2"): 0.05, ("Bob", "Charlie", "c3"): 0.1,
+    ("Bob", "Charlie", "c4"): 0.2, ("Bob", "Charlie", "c5"): 0.0,
+    # tau(Charlie, Alice, .)
+    ("Charlie", "Alice", "c1"): 0.0, ("Charlie", "Alice", "c2"): 0.05,
+    ("Charlie", "Alice", "c3"): 0.1, ("Charlie", "Alice", "c4"): 0.05,
+    ("Charlie", "Alice", "c5"): 0.3,
+    # tau(Charlie, Bob, .)
+    ("Charlie", "Bob", "c1"): 0.1, ("Charlie", "Bob", "c2"): 0.05, ("Charlie", "Bob", "c3"): 0.1,
+    ("Charlie", "Bob", "c4"): 0.2, ("Charlie", "Bob", "c5"): 0.05,
+    # tau(Dave, Alice, .)
+    ("Dave", "Alice", "c1"): 0.3, ("Dave", "Alice", "c2"): 0.05, ("Dave", "Alice", "c3"): 0.05,
+    ("Dave", "Alice", "c4"): 0.0, ("Dave", "Alice", "c5"): 0.25,
+}
+
+
+def paper_example_instance(social_weight: float = 0.5) -> SVGICInstance:
+    """Build the running-example instance (k = 3 slots).
+
+    ``social_weight`` defaults to the λ = 1/2 value used by Examples 3-5; the
+    illustrative computation of Example 2 uses λ = 0.4, which callers can
+    request explicitly.
+    """
+    return SVGICInstance.from_dicts(
+        num_slots=3,
+        social_weight=social_weight,
+        preference=PREFERENCES,
+        social=SOCIAL,
+        users=list(USERS),
+        items=list(ITEMS),
+        name="paper-example",
+    )
+
+
+def _config_from_rows(instance: SVGICInstance, rows: Dict[str, Tuple[str, str, str]]) -> SAVGConfiguration:
+    user_index = {label: i for i, label in enumerate(instance.user_labels)}
+    item_index = {label: i for i, label in enumerate(instance.item_labels)}
+    config = SAVGConfiguration.for_instance(instance)
+    for user, items in rows.items():
+        for slot, item in enumerate(items):
+            config.assignment[user_index[user], slot] = item_index[item]
+    return config
+
+
+def optimal_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The SAVG configuration of Figure 1(a)/(b) (total scaled utility 10.35)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c1", "c2"),
+            "Bob": ("c2", "c1", "c4"),
+            "Charlie": ("c5", "c3", "c4"),
+            "Dave": ("c5", "c1", "c4"),
+        },
+    )
+
+
+def avg_example_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The configuration produced by the AVG trace of Example 4 (Table 7, utility 9.75)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c2", "c1"),
+            "Bob": ("c2", "c4", "c1"),
+            "Charlie": ("c3", "c4", "c5"),
+            "Dave": ("c5", "c4", "c1"),
+        },
+    )
+
+
+def avg_d_example_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The configuration produced by the AVG-D trace of Example 5 (Table 8, utility 9.85)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c1", "c2"),
+            "Bob": ("c5", "c1", "c2"),
+            "Charlie": ("c5", "c3", "c2"),
+            "Dave": ("c5", "c1", "c4"),
+        },
+    )
+
+
+def personalized_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The personalized (PER) configuration of Table 9 (utility 8.25)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c2", "c1"),
+            "Bob": ("c2", "c1", "c4"),
+            "Charlie": ("c3", "c4", "c2"),
+            "Dave": ("c4", "c5", "c3"),
+        },
+    )
+
+
+def group_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The group-approach configuration of Table 9 (utility 8.35)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c1", "c2"),
+            "Bob": ("c5", "c1", "c2"),
+            "Charlie": ("c5", "c1", "c2"),
+            "Dave": ("c5", "c1", "c2"),
+        },
+    )
+
+
+def subgroup_by_friendship_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The subgroup-by-friendship configuration of Table 9 (utility 8.4)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c5", "c1", "c4"),
+            "Dave": ("c5", "c1", "c4"),
+            "Bob": ("c2", "c4", "c3"),
+            "Charlie": ("c2", "c4", "c3"),
+        },
+    )
+
+
+def subgroup_by_preference_configuration(instance: SVGICInstance) -> SAVGConfiguration:
+    """The subgroup-by-preference configuration of Table 9 (utility 8.7)."""
+    return _config_from_rows(
+        instance,
+        {
+            "Alice": ("c2", "c1", "c5"),
+            "Bob": ("c2", "c1", "c5"),
+            "Charlie": ("c4", "c5", "c3"),
+            "Dave": ("c4", "c5", "c3"),
+        },
+    )
+
+
+FRIENDSHIP_PARTITION = (("Alice", "Dave"), ("Bob", "Charlie"))
+PREFERENCE_PARTITION = (("Alice", "Bob"), ("Charlie", "Dave"))
+
+
+def partition_indices(instance: SVGICInstance, partition: Tuple[Tuple[str, ...], ...]) -> list:
+    """Convert a partition of user labels into index lists for baseline overrides."""
+    user_index = {label: i for i, label in enumerate(instance.user_labels)}
+    return [[user_index[name] for name in part] for part in partition]
+
+
+__all__ = [
+    "USERS",
+    "ITEMS",
+    "ITEM_NAMES",
+    "PREFERENCES",
+    "SOCIAL",
+    "paper_example_instance",
+    "optimal_configuration",
+    "avg_example_configuration",
+    "avg_d_example_configuration",
+    "personalized_configuration",
+    "group_configuration",
+    "subgroup_by_friendship_configuration",
+    "subgroup_by_preference_configuration",
+    "FRIENDSHIP_PARTITION",
+    "PREFERENCE_PARTITION",
+    "partition_indices",
+]

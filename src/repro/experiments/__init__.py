@@ -1,0 +1,20 @@
+"""Experiment harness and per-figure experiment definitions (Section 6)."""
+
+from repro.experiments import figures
+from repro.experiments.case_study import CaseStudy, describe_case_study
+from repro.experiments.harness import (
+    ExperimentResult,
+    default_algorithms,
+    run_algorithms,
+    sweep,
+)
+
+__all__ = [
+    "figures",
+    "ExperimentResult",
+    "default_algorithms",
+    "run_algorithms",
+    "sweep",
+    "CaseStudy",
+    "describe_case_study",
+]

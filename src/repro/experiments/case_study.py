@@ -1,0 +1,120 @@
+"""Case-study helpers (Section 6.6): narrate how algorithms partition an ego network.
+
+Figure 11 of the paper walks through a 2-hop ego network of one Yelp user and
+contrasts how AVG, SDP and GRF partition her friends at the two
+highest-regret slots.  :func:`describe_case_study` produces the same
+narrative from any instance/algorithm results: the focal (highest-regret)
+user, the subgroups she lands in per slot, and which friends she shares a
+view with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.problem import SVGICInstance
+from repro.core.result import AlgorithmResult
+from repro.metrics.regret import regret_ratios
+
+
+@dataclass
+class SlotStory:
+    """What happens to the focal user at one slot under one algorithm."""
+
+    slot: int
+    item: int
+    item_label: str
+    companions: List[int] = field(default_factory=list)
+    companion_labels: List[str] = field(default_factory=list)
+    friends_in_subgroup: int = 0
+
+
+@dataclass
+class CaseStudy:
+    """Narrated comparison of several algorithms on one instance."""
+
+    focal_user: int
+    focal_user_label: str
+    per_algorithm_regret: Dict[str, float]
+    stories: Dict[str, List[SlotStory]]
+
+    def to_text(self) -> str:
+        """Readable multi-line narration (used by the case-study example script)."""
+        lines = [f"Focal user: {self.focal_user_label} (highest regret across algorithms)"]
+        for algorithm, slots in self.stories.items():
+            regret = self.per_algorithm_regret[algorithm]
+            lines.append(f"\n[{algorithm}]  regret of focal user: {regret:.1%}")
+            for story in slots:
+                companions = ", ".join(story.companion_labels) if story.companion_labels else "nobody"
+                lines.append(
+                    f"  slot {story.slot + 1}: sees {story.item_label} with {companions} "
+                    f"({story.friends_in_subgroup} friend(s) in subgroup)"
+                )
+        return "\n".join(lines)
+
+
+def _label(instance: SVGICInstance, kind: str, index: int) -> str:
+    if kind == "user":
+        if instance.user_labels is not None:
+            return instance.user_labels[index]
+        return f"u{index}"
+    if instance.item_labels is not None:
+        return instance.item_labels[index]
+    return f"c{index}"
+
+
+def describe_case_study(
+    instance: SVGICInstance,
+    results: Mapping[str, AlgorithmResult],
+    *,
+    focal_user: int | None = None,
+) -> CaseStudy:
+    """Build the Figure-11 style narration for ``results`` on ``instance``.
+
+    The focal user defaults to the user with the largest regret summed over
+    all algorithms (the user whose preferences are hardest to serve, like
+    user ``A`` in the paper's case study).
+    """
+    regrets_per_algorithm = {
+        name: regret_ratios(instance, result.configuration) for name, result in results.items()
+    }
+    if focal_user is None:
+        total_regret = np.sum(np.stack(list(regrets_per_algorithm.values())), axis=0)
+        focal_user = int(np.argmax(total_regret))
+
+    neighbor_set = set(instance.neighbors[focal_user])
+    stories: Dict[str, List[SlotStory]] = {}
+    for name, result in results.items():
+        slot_stories: List[SlotStory] = []
+        for slot in range(instance.num_slots):
+            item = int(result.configuration.assignment[focal_user, slot])
+            members = [
+                u for u in range(instance.num_users)
+                if u != focal_user and int(result.configuration.assignment[u, slot]) == item
+            ]
+            slot_stories.append(
+                SlotStory(
+                    slot=slot,
+                    item=item,
+                    item_label=_label(instance, "item", item),
+                    companions=members,
+                    companion_labels=[_label(instance, "user", u) for u in members],
+                    friends_in_subgroup=sum(1 for u in members if u in neighbor_set),
+                )
+            )
+        stories[name] = slot_stories
+
+    return CaseStudy(
+        focal_user=focal_user,
+        focal_user_label=_label(instance, "user", focal_user),
+        per_algorithm_regret={
+            name: float(regrets[focal_user]) for name, regrets in regrets_per_algorithm.items()
+        },
+        stories=stories,
+    )
+
+
+__all__ = ["CaseStudy", "SlotStory", "describe_case_study"]

@@ -1,0 +1,218 @@
+"""Experiment harness: algorithm registry, sweeps and result tables.
+
+Everything in Section 6 follows the same pattern — build instances, run a set
+of algorithms, collect utility / time / subgroup metrics.  The harness
+factors that pattern out so each figure in :mod:`repro.experiments.figures`
+is a short declarative function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.group import run_fmg
+from repro.baselines.personalized import run_per
+from repro.baselines.subgroup import run_grf, run_sdp
+from repro.core.avg import run_avg
+from repro.core.avg_d import run_avg_d
+from repro.core.ip import solve_exact
+from repro.core.problem import SVGICInstance
+from repro.core.result import AlgorithmResult
+from repro.metrics.evaluation import EvaluationReport, evaluate_result, evaluation_table
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+
+AlgorithmRunner = Callable[..., AlgorithmResult]
+
+
+def default_algorithms(
+    *,
+    include_ip: bool = False,
+    ip_time_limit: Optional[float] = 30.0,
+    avg_repetitions: int = 3,
+    avg_d_ratio: float = 1.0,
+) -> Dict[str, AlgorithmRunner]:
+    """The paper's algorithm line-up: AVG, AVG-D, PER, FMG, SDP, GRF (+ optional IP)."""
+
+    algorithms: Dict[str, AlgorithmRunner] = {
+        "AVG": lambda instance, rng=None: run_avg(instance, rng=rng, repetitions=avg_repetitions),
+        "AVG-D": lambda instance, rng=None: run_avg_d(instance, balancing_ratio=avg_d_ratio),
+        "PER": lambda instance, rng=None: run_per(instance),
+        "FMG": lambda instance, rng=None: run_fmg(instance),
+        "SDP": lambda instance, rng=None: run_sdp(instance),
+        "GRF": lambda instance, rng=None: run_grf(instance, rng=rng),
+    }
+    if include_ip:
+        algorithms["IP"] = lambda instance, rng=None: solve_exact(
+            instance, time_limit=ip_time_limit
+        )
+    return algorithms
+
+
+def run_algorithms(
+    instance: SVGICInstance,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = None,
+) -> Dict[str, EvaluationReport]:
+    """Run every algorithm on ``instance`` and evaluate all Section-6 metrics."""
+    generator = ensure_rng(seed)
+    reports: Dict[str, EvaluationReport] = {}
+    for name, runner in algorithms.items():
+        result = runner(instance, rng=generator)
+        reports[name] = evaluate_result(instance, result)
+    return reports
+
+
+@dataclass
+class ExperimentResult:
+    """A table of experiment rows plus presentation helpers.
+
+    ``rows`` is a list of flat dictionaries (one per algorithm per sweep
+    point); ``parameters`` records the experiment configuration so results
+    are self-describing when dumped.
+    """
+
+    name: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def add_report(self, report: EvaluationReport, **extra: Any) -> None:
+        """Append an evaluation report (flattened) with extra sweep columns."""
+        row = report.as_row()
+        row.update(extra)
+        self.rows.append(row)
+
+    def add_row(self, **columns: Any) -> None:
+        """Append a raw row."""
+        self.rows.append(dict(columns))
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching all ``column=value`` criteria."""
+        matched = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                matched.append(row)
+        return matched
+
+    def pivot(self, index: str, column: str, value: str) -> Dict[Any, Dict[Any, Any]]:
+        """Nested dict ``{index_value: {column_value: value}}`` for series plots."""
+        table: Dict[Any, Dict[Any, Any]] = {}
+        for row in self.rows:
+            table.setdefault(row.get(index), {})[row.get(column)] = row.get(value)
+        return table
+
+    def best_algorithm(self, *, by: str = "total_utility", at: Optional[Dict[str, Any]] = None) -> str:
+        """Name of the algorithm with the largest ``by`` value (optionally at one sweep point)."""
+        rows = self.rows if at is None else self.filter(**at)
+        if not rows:
+            raise ValueError("no rows match the given criteria")
+        best = max(rows, key=lambda row: row.get(by, -np.inf))
+        return str(best.get("algorithm"))
+
+    def to_text(self, columns: Optional[Sequence[str]] = None, *, precision: int = 3) -> str:
+        """Aligned text rendering of all rows."""
+        if not self.rows:
+            return f"{self.name}: (no rows)"
+        if columns is None:
+            # Keep a stable, informative default ordering.
+            preferred = [
+                "algorithm",
+                "x",
+                "total_utility",
+                "personal_pct",
+                "social_pct",
+                "co_display_pct",
+                "alone_pct",
+                "mean_regret",
+                "seconds",
+            ]
+            present = set()
+            for row in self.rows:
+                present.update(row.keys())
+            columns = [c for c in preferred if c in present]
+            columns += [c for c in sorted(present) if c not in columns][:4]
+        header = list(columns)
+        lines: List[List[str]] = [header]
+        for row in self.rows:
+            cells = []
+            for column in header:
+                value = row.get(column, "")
+                if isinstance(value, float):
+                    cells.append(f"{value:.{precision}f}")
+                else:
+                    cells.append(str(value))
+            lines.append(cells)
+        widths = [max(len(line[i]) for line in lines) for i in range(len(header))]
+        rendered = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in lines]
+        separator = "  ".join("-" * width for width in widths)
+        title = f"== {self.name} — {self.description} =="
+        return "\n".join([title, rendered[0], separator] + rendered[1:])
+
+
+def sweep(
+    name: str,
+    description: str,
+    values: Iterable[Any],
+    instance_factory: Callable[[Any, int], SVGICInstance],
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = 0,
+    repetitions: int = 1,
+    x_label: str = "x",
+) -> ExperimentResult:
+    """Run every algorithm over a one-dimensional parameter sweep.
+
+    ``instance_factory(value, rep_seed)`` must return the instance for one
+    sweep point and repetition; metric rows are averaged over repetitions.
+    """
+    result = ExperimentResult(name=name, description=description,
+                              parameters={"values": list(values), "repetitions": repetitions})
+    for value in result.parameters["values"]:
+        accumulators: Dict[str, List[EvaluationReport]] = {alg: [] for alg in algorithms}
+        for rep in range(repetitions):
+            rep_seed = derive_seed(seed, name, str(value), rep)
+            instance = instance_factory(value, rep_seed)
+            reports = run_algorithms(instance, algorithms, seed=rep_seed)
+            for alg, report in reports.items():
+                accumulators[alg].append(report)
+        for alg, reports in accumulators.items():
+            if not reports:
+                continue
+            averaged = _average_reports(reports)
+            averaged[x_label] = value
+            averaged["x"] = value
+            averaged["algorithm"] = alg
+            result.rows.append(averaged)
+    return result
+
+
+def _average_reports(reports: Sequence[EvaluationReport]) -> Dict[str, Any]:
+    """Average the numeric columns of several evaluation reports."""
+    rows = [report.as_row() for report in reports]
+    averaged: Dict[str, Any] = {}
+    for key in rows[0]:
+        values = [row[key] for row in rows]
+        if all(isinstance(v, (int, float, bool, np.floating, np.integer)) for v in values):
+            averaged[key] = float(np.mean([float(v) for v in values]))
+        else:
+            averaged[key] = values[0]
+    averaged["repetitions"] = len(rows)
+    return averaged
+
+
+__all__ = [
+    "AlgorithmRunner",
+    "default_algorithms",
+    "run_algorithms",
+    "ExperimentResult",
+    "sweep",
+    "evaluation_table",
+]

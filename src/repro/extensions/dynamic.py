@@ -1,0 +1,162 @@
+"""Dynamic scenario (Section 5F): users join and leave the VR store over time.
+
+Re-running the full AVG pipeline on every arrival is wasteful; the paper's
+suggestion is to keep the existing configuration, update the utility factors
+only locally, and assign the new user greedily to existing target subgroups
+(with an optional local-search exchange step).  :class:`DynamicSession`
+implements exactly that incremental policy:
+
+* ``add_user`` — a new shopper is assigned, slot by slot, the item with the
+  largest marginal utility (her preference plus the social utility with the
+  friends already viewing that item at that slot), subject to the
+  no-duplication constraint and the subgroup-size cap;
+* ``remove_user`` — the shopper's row is dropped; remaining assignments are
+  untouched (their utility can only be affected through lost co-displays,
+  which the evaluation reflects automatically);
+* ``local_search`` — single-user exchange pass that re-assigns the slot with
+  the lowest marginal contribution if an improving swap exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.objective import total_utility
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.result import AlgorithmResult
+
+
+@dataclass
+class DynamicEvent:
+    """One join/leave event recorded by the session."""
+
+    kind: str  # "join" or "leave"
+    user: int
+    utility_after: float
+
+
+class DynamicSession:
+    """Incremental maintenance of an SAVG configuration under user churn."""
+
+    def __init__(self, instance: SVGICInstance, configuration: SAVGConfiguration) -> None:
+        configuration.validate(instance)
+        self.instance = instance
+        self.configuration = configuration.copy()
+        self.active = np.ones(instance.num_users, dtype=bool)
+        self.events: List[DynamicEvent] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size_limit(self) -> Optional[int]:
+        if isinstance(self.instance, SVGICSTInstance):
+            return self.instance.max_subgroup_size
+        return None
+
+    def _cell_count(self, item: int, slot: int) -> int:
+        column = self.configuration.assignment[self.active, slot]
+        return int(np.count_nonzero(column == item))
+
+    def current_utility(self) -> float:
+        """Total SAVG utility restricted to the currently active users."""
+        active_ids = [int(u) for u in np.nonzero(self.active)[0]]
+        sub_instance, mapping = self.instance.subgroup_instance(active_ids)
+        sub_config = SAVGConfiguration(
+            assignment=self.configuration.assignment[mapping], num_items=self.instance.num_items
+        )
+        return total_utility(sub_instance, sub_config)
+
+    # ------------------------------------------------------------------ #
+    def _marginal_gain(self, user: int, item: int, slot: int) -> float:
+        """Marginal SAVG utility of showing ``item`` to ``user`` at ``slot`` right now."""
+        lam = self.instance.social_weight
+        gain = (1.0 - lam) * float(self.instance.preference[user, item])
+        for e in range(self.instance.num_edges):
+            u, v = int(self.instance.edges[e, 0]), int(self.instance.edges[e, 1])
+            if not (self.active[u] and self.active[v]):
+                continue
+            if u == user and self.configuration.assignment[v, slot] == item:
+                gain += lam * float(self.instance.social[e, item])
+            elif v == user and self.configuration.assignment[u, slot] == item:
+                # The friend also gains utility from the new co-display.
+                gain += lam * float(self.instance.social[e, item])
+        return gain
+
+    def add_user(self, user: int) -> None:
+        """(Re-)activate ``user`` and assign her k items greedily."""
+        if self.active[user] and not np.any(self.configuration.assignment[user] == UNASSIGNED):
+            raise ValueError(f"user {user} is already active and fully assigned")
+        self.active[user] = True
+        self.configuration.assignment[user, :] = UNASSIGNED
+        used: set = set()
+        for slot in range(self.instance.num_slots):
+            best_item, best_gain = -1, -np.inf
+            for item in range(self.instance.num_items):
+                if item in used:
+                    continue
+                if self.size_limit is not None and self._cell_count(item, slot) >= self.size_limit:
+                    continue
+                gain = self._marginal_gain(user, item, slot)
+                if gain > best_gain:
+                    best_gain, best_item = gain, item
+            self.configuration.assignment[user, slot] = best_item
+            used.add(best_item)
+        self.events.append(DynamicEvent("join", user, self.current_utility()))
+
+    def remove_user(self, user: int) -> None:
+        """Deactivate ``user`` (she leaves the store)."""
+        if not self.active[user]:
+            raise ValueError(f"user {user} is not active")
+        self.active[user] = False
+        self.events.append(DynamicEvent("leave", user, self.current_utility()))
+
+    # ------------------------------------------------------------------ #
+    def local_search(self, user: int, *, max_rounds: int = 2) -> bool:
+        """Improve ``user``'s assignment by single-slot exchanges; returns True if improved."""
+        if not self.active[user]:
+            raise ValueError(f"user {user} is not active")
+        improved_any = False
+        for _ in range(max_rounds):
+            improved = False
+            for slot in range(self.instance.num_slots):
+                current_item = int(self.configuration.assignment[user, slot])
+                current_gain = self._marginal_gain(user, current_item, slot)
+                used = set(int(c) for c in self.configuration.assignment[user]) - {current_item}
+                for item in range(self.instance.num_items):
+                    if item == current_item or item in used:
+                        continue
+                    if (
+                        self.size_limit is not None
+                        and self._cell_count(item, slot) >= self.size_limit
+                    ):
+                        continue
+                    gain = self._marginal_gain(user, item, slot)
+                    if gain > current_gain + 1e-12:
+                        self.configuration.assignment[user, slot] = item
+                        current_item, current_gain = item, gain
+                        improved = True
+                        improved_any = True
+            if not improved:
+                break
+        return improved_any
+
+    def teleport_suggestions(self, user: int) -> List[Tuple[int, int, int]]:
+        """Friends this user could teleport to: (friend, item, friend's slot) for indirect co-displays."""
+        suggestions: List[Tuple[int, int, int]] = []
+        if not self.active[user]:
+            return suggestions
+        my_items = {int(c): s for s, c in enumerate(self.configuration.assignment[user])}
+        for friend in self.instance.neighbors[user]:
+            if not self.active[friend]:
+                continue
+            for slot in range(self.instance.num_slots):
+                item = int(self.configuration.assignment[friend, slot])
+                if item in my_items and my_items[item] != slot:
+                    suggestions.append((int(friend), item, slot))
+        return suggestions
+
+
+__all__ = ["DynamicSession", "DynamicEvent"]

@@ -1,0 +1,133 @@
+"""Generalized group-wise social benefits (Section 5D).
+
+Pairwise social utility is a special case of group-wise utility
+``tau(u, V, c)``: the benefit user ``u`` derives from viewing item ``c``
+together with the whole subgroup ``V`` of friends.  The paper notes the
+objective should count only the *maximal* co-display group per (user, slot)
+to avoid double counting, and that AVG generalizes with a
+``2·max|V|``-approximation.
+
+Learned group-wise models are not available offline, so we ship a family of
+aggregators that derive ``tau(u, V, c)`` from the pairwise inputs:
+
+* :class:`DiminishingReturnsModel` — the benefit of each additional co-viewer
+  decays geometrically (concave aggregation, the common assumption in the
+  social-influence literature the paper cites);
+* :class:`ThresholdBoostModel` — pairwise sum plus a bonus once the co-view
+  group reaches a critical mass (discussion "takes off").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.problem import SVGICInstance
+
+
+class GroupwiseSocialModel(Protocol):
+    """Protocol for group-wise social utility models."""
+
+    def utility(
+        self, instance: SVGICInstance, user: int, co_viewers: Sequence[int], item: int
+    ) -> float:
+        """Social utility of ``user`` viewing ``item`` with the friends in ``co_viewers``."""
+        ...
+
+
+def _pairwise_values(
+    instance: SVGICInstance, user: int, co_viewers: Sequence[int], item: int
+) -> np.ndarray:
+    """Pairwise tau(user, v, item) for each friend v among the co-viewers."""
+    values = []
+    co_set = set(int(v) for v in co_viewers)
+    for e in range(instance.num_edges):
+        if int(instance.edges[e, 0]) == user and int(instance.edges[e, 1]) in co_set:
+            values.append(float(instance.social[e, item]))
+    return np.asarray(values, dtype=float)
+
+
+@dataclass(frozen=True)
+class DiminishingReturnsModel:
+    """Concave aggregation: the i-th strongest co-viewer contributes ``decay**i`` of her tau."""
+
+    decay: float = 0.8
+
+    def utility(
+        self, instance: SVGICInstance, user: int, co_viewers: Sequence[int], item: int
+    ) -> float:
+        values = _pairwise_values(instance, user, co_viewers, item)
+        if values.size == 0:
+            return 0.0
+        values = np.sort(values)[::-1]
+        weights = self.decay ** np.arange(values.size)
+        return float(np.sum(values * weights))
+
+
+@dataclass(frozen=True)
+class ThresholdBoostModel:
+    """Pairwise sum plus a bonus once the co-view group reaches ``critical_mass`` friends."""
+
+    critical_mass: int = 3
+    boost: float = 0.25
+
+    def utility(
+        self, instance: SVGICInstance, user: int, co_viewers: Sequence[int], item: int
+    ) -> float:
+        values = _pairwise_values(instance, user, co_viewers, item)
+        total = float(values.sum())
+        if values.size >= self.critical_mass and total > 0:
+            total *= 1.0 + self.boost
+        return total
+
+
+def maximal_co_display_groups(
+    instance: SVGICInstance, config: SAVGConfiguration
+) -> Dict[Tuple[int, int], Sequence[int]]:
+    """For each (user, slot), the maximal set of *friends* co-displayed the same item.
+
+    Only friends (graph neighbours) count as co-viewers; strangers who happen
+    to see the same item do not contribute social utility.
+    """
+    groups: Dict[Tuple[int, int], Sequence[int]] = {}
+    neighbor_sets = [set(adj) for adj in instance.neighbors]
+    for slot in range(instance.num_slots):
+        partitions = config.subgroups_at_slot(slot)
+        for _item, members in partitions.items():
+            member_set = set(members)
+            for user in members:
+                friends = sorted(member_set & neighbor_sets[user])
+                if friends:
+                    groups[(user, slot)] = friends
+    return groups
+
+
+def groupwise_total_utility(
+    instance: SVGICInstance,
+    config: SAVGConfiguration,
+    model: GroupwiseSocialModel,
+) -> float:
+    """Section-5D objective: preference plus group-wise social utility of maximal co-display groups."""
+    lam = instance.social_weight
+    total = 0.0
+    for user in range(instance.num_users):
+        for slot in range(instance.num_slots):
+            item = config.assignment[user, slot]
+            if item != UNASSIGNED:
+                total += (1.0 - lam) * float(instance.preference[user, int(item)])
+    for (user, slot), friends in maximal_co_display_groups(instance, config).items():
+        item = int(config.assignment[user, slot])
+        total += lam * model.utility(instance, user, friends, item)
+    return total
+
+
+__all__ = [
+    "GroupwiseSocialModel",
+    "DiminishingReturnsModel",
+    "ThresholdBoostModel",
+    "maximal_co_display_groups",
+    "groupwise_total_utility",
+]

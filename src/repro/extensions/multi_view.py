@@ -1,0 +1,136 @@
+"""Multi-View Display (Section 5C): several items per slot, one primary view.
+
+MVD lets a user see up to ``beta`` items at a slot: a *primary view* (her
+personally preferred default) plus *group views* shared with friends, freely
+switchable.  We model an MVD configuration as the combination of a primary
+SAVG k-Configuration and, per (user, slot), an ordered list of extra
+group-view items.
+
+:func:`extend_to_multi_view` builds group views greedily on top of any
+primary configuration: at every slot a user adopts the items her friends see
+at that slot (largest marginal utility first) as long as the view budget and
+the no-duplication-across-views rule allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.problem import SVGICInstance
+
+
+@dataclass
+class MultiViewConfiguration:
+    """An MVD configuration: primary assignment plus per-(user, slot) group views."""
+
+    primary: SAVGConfiguration
+    group_views: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+    views_per_slot: int = 2
+
+    def views(self, user: int, slot: int) -> List[int]:
+        """All items viewable by ``user`` at ``slot`` (primary first)."""
+        items: List[int] = []
+        primary_item = int(self.primary.assignment[user, slot])
+        if primary_item != UNASSIGNED:
+            items.append(primary_item)
+        items.extend(self.group_views.get((user, slot), []))
+        return items
+
+    def all_items_for_user(self, user: int) -> List[int]:
+        """Distinct items viewable by ``user`` anywhere in her VE."""
+        seen: List[int] = []
+        for slot in range(self.primary.num_slots):
+            for item in self.views(user, slot):
+                if item not in seen:
+                    seen.append(item)
+        return seen
+
+
+def extend_to_multi_view(
+    instance: SVGICInstance,
+    primary: SAVGConfiguration,
+    *,
+    views_per_slot: int = 2,
+) -> MultiViewConfiguration:
+    """Greedily add group views on top of ``primary``.
+
+    At each slot, a user considers the items her friends are (primarily)
+    displayed at that slot; candidates are ranked by the marginal utility of
+    adopting them (own preference plus the social utility with the friends
+    already viewing them) and added until ``views_per_slot`` is reached.  An
+    item already viewable to the user (at any slot, in any view) is skipped.
+    """
+    if views_per_slot < 1:
+        raise ValueError("views_per_slot must be >= 1")
+    lam = instance.social_weight
+    mvd = MultiViewConfiguration(primary=primary.copy(), views_per_slot=views_per_slot)
+    if views_per_slot == 1:
+        return mvd
+
+    neighbor_sets = instance.neighbors
+    # tau lookup per directed edge for efficiency.
+    edge_lookup: Dict[Tuple[int, int], int] = {
+        (int(u), int(v)): e for e, (u, v) in enumerate(instance.edges)
+    }
+
+    for user in range(instance.num_users):
+        already_viewable = set(int(c) for c in primary.assignment[user] if c != UNASSIGNED)
+        for slot in range(instance.num_slots):
+            budget = views_per_slot - 1  # primary view occupies one
+            candidates: Dict[int, float] = {}
+            for friend in neighbor_sets[user]:
+                friend_item = int(primary.assignment[friend, slot])
+                if friend_item == UNASSIGNED or friend_item in already_viewable:
+                    continue
+                if friend_item not in candidates:
+                    # Preference counts once; social utility accumulates per friend.
+                    candidates[friend_item] = (1.0 - lam) * float(
+                        instance.preference[user, friend_item]
+                    )
+                edge = edge_lookup.get((user, friend))
+                if edge is not None:
+                    candidates[friend_item] += lam * float(instance.social[edge, friend_item])
+            ranked = sorted(candidates.items(), key=lambda kv: -kv[1])
+            added: List[int] = []
+            for item, _gain in ranked:
+                if budget <= 0:
+                    break
+                added.append(item)
+                already_viewable.add(item)
+                budget -= 1
+            if added:
+                mvd.group_views[(user, slot)] = added
+    return mvd
+
+
+def multi_view_utility(instance: SVGICInstance, mvd: MultiViewConfiguration) -> float:
+    """Total MVD utility: preference over all viewable items + social utility of shared views.
+
+    A pair of friends obtains social utility on item ``c`` at slot ``s`` when
+    both can view ``c`` at ``s`` (in the primary or a group view), matching
+    the Section-5 objective with maximal co-display groups.
+    """
+    lam = instance.social_weight
+    total = 0.0
+    # Preference: every distinct viewable item counts once per user.
+    for user in range(instance.num_users):
+        for item in mvd.all_items_for_user(user):
+            total += (1.0 - lam) * float(instance.preference[user, item])
+    # Social: per directed edge, per slot, shared viewable items.
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        counted: set = set()
+        for slot in range(instance.num_slots):
+            shared = set(mvd.views(u, slot)) & set(mvd.views(v, slot))
+            for item in shared:
+                if item not in counted:
+                    total += lam * float(instance.social[e, item])
+                    counted.add(item)
+    return total
+
+
+__all__ = ["MultiViewConfiguration", "extend_to_multi_view", "multi_view_utility"]

@@ -1,0 +1,114 @@
+"""Layout slot significance (Section 5B): some shelf positions matter more.
+
+Retailing research cited by the paper finds that central (and eye-level)
+slots are up to nine times more effective than peripheral ones.  The extended
+objective weighs the contribution of everything shown at slot ``s`` by a
+significance ``gamma_s``.
+
+Because the plain SVGIC objective is invariant under a *global* permutation
+of slots (co-displays and the no-duplication constraint are preserved when
+every user's columns are permuted identically), a simple and optimal
+post-processing step exists for any fixed configuration: order the slots so
+that the slot with the largest realised contribution receives the largest
+``gamma``.  :func:`solve_with_slot_significance` composes any SVGIC algorithm
+with that reordering.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.core.configuration import SAVGConfiguration, UNASSIGNED
+from repro.core.objective import weighted_total_utility
+from repro.core.problem import SVGICInstance
+from repro.core.result import AlgorithmResult
+
+
+def aisle_significance(num_slots: int, *, peak: float = 9.0) -> np.ndarray:
+    """Centre-heavy significance profile: ends weigh 1, the centre weighs ``peak``.
+
+    Mirrors the paper's citation that centre-of-aisle slots are ~9x more
+    important than end-of-aisle slots; intermediate slots are interpolated
+    linearly.
+    """
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    if num_slots == 1:
+        return np.array([peak])
+    positions = np.arange(num_slots, dtype=float)
+    centre = (num_slots - 1) / 2.0
+    distance = np.abs(positions - centre) / centre if centre > 0 else np.zeros(num_slots)
+    return peak - (peak - 1.0) * distance
+
+
+def _per_slot_contribution(instance: SVGICInstance, config: SAVGConfiguration) -> np.ndarray:
+    """Unweighted SAVG contribution of each slot (preference + direct social)."""
+    lam = instance.social_weight
+    k = instance.num_slots
+    contribution = np.zeros(k, dtype=float)
+    assignment = config.assignment
+    for user in range(instance.num_users):
+        for slot in range(k):
+            item = assignment[user, slot]
+            if item != UNASSIGNED:
+                contribution[slot] += (1.0 - lam) * float(instance.preference[user, int(item)])
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
+        for slot in np.nonzero(same)[0]:
+            contribution[slot] += lam * float(instance.social[e, int(assignment[u, slot])])
+    return contribution
+
+
+def optimize_slot_order(
+    instance: SVGICInstance,
+    config: SAVGConfiguration,
+    significance: np.ndarray,
+) -> SAVGConfiguration:
+    """Permute slots globally so high-contribution slots receive high significance.
+
+    Returns a new configuration; the underlying subgroups are untouched.
+    """
+    significance = np.asarray(significance, dtype=float)
+    if significance.shape != (instance.num_slots,):
+        raise ValueError(
+            f"significance must have shape ({instance.num_slots},), got {significance.shape}"
+        )
+    contribution = _per_slot_contribution(instance, config)
+    # Sort both descending and match rank-to-rank (rearrangement inequality).
+    slot_by_contribution = np.argsort(-contribution)
+    target_positions = np.argsort(-significance)
+    permutation = np.empty(instance.num_slots, dtype=np.int64)
+    for source, target in zip(slot_by_contribution, target_positions):
+        permutation[target] = source
+    reordered = SAVGConfiguration(
+        assignment=config.assignment[:, permutation].copy(), num_items=config.num_items
+    )
+    return reordered
+
+
+def solve_with_slot_significance(
+    instance: SVGICInstance,
+    significance: np.ndarray,
+    algorithm: Callable[..., AlgorithmResult],
+    **algorithm_kwargs: object,
+) -> AlgorithmResult:
+    """Run ``algorithm`` and reorder its slots optimally for ``significance``."""
+    start = time.perf_counter()
+    inner = algorithm(instance, **algorithm_kwargs)
+    reordered = optimize_slot_order(instance, inner.configuration, significance)
+    weighted = weighted_total_utility(instance, reordered, slot_significance=significance)
+    elapsed = time.perf_counter() - start
+    return AlgorithmResult.from_configuration(
+        f"{inner.algorithm}+slots",
+        instance,
+        reordered,
+        elapsed,
+        info={**inner.info, "weighted_utility": weighted},
+    )
+
+
+__all__ = ["aisle_significance", "optimize_slot_order", "solve_with_slot_significance"]

@@ -1,0 +1,16 @@
+"""Evaluation metrics of Section 6: subgroup structure, regret/fairness, feasibility."""
+
+from repro.metrics.evaluation import EvaluationReport, evaluate_result, evaluation_table
+from repro.metrics.regret import happiness_ratios, regret_cdf, regret_ratios
+from repro.metrics.subgroups import SubgroupMetrics, subgroup_metrics
+
+__all__ = [
+    "SubgroupMetrics",
+    "subgroup_metrics",
+    "regret_ratios",
+    "happiness_ratios",
+    "regret_cdf",
+    "EvaluationReport",
+    "evaluate_result",
+    "evaluation_table",
+]

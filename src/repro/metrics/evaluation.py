@@ -1,0 +1,124 @@
+"""One-stop evaluation of an algorithm result: utilities, subgroup metrics, regret, feasibility.
+
+The experiment harness calls :func:`evaluate_result` for every algorithm on
+every instance and collects the flat dictionaries into result tables; this is
+what the benchmark scripts print to reproduce the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.result import AlgorithmResult
+from repro.core.svgic_st import size_violation_report
+from repro.metrics.regret import mean_regret, regret_ratios
+from repro.metrics.subgroups import subgroup_metrics
+
+
+@dataclass
+class EvaluationReport:
+    """Full metric set for one (algorithm, instance) pair."""
+
+    algorithm: str
+    total_utility: float
+    preference_utility: float
+    social_utility: float
+    personal_share: float
+    social_share: float
+    seconds: float
+    mean_regret: float
+    subgroup: Dict[str, float]
+    regrets: np.ndarray
+    feasible: bool = True
+    excess_users: int = 0
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dictionary row for tabular reporting."""
+        row: Dict[str, Any] = {
+            "algorithm": self.algorithm,
+            "total_utility": self.total_utility,
+            "preference_utility": self.preference_utility,
+            "social_utility": self.social_utility,
+            "personal_pct": 100.0 * self.personal_share,
+            "social_pct": 100.0 * self.social_share,
+            "seconds": self.seconds,
+            "mean_regret": self.mean_regret,
+            "feasible": self.feasible,
+            "excess_users": self.excess_users,
+        }
+        row.update(self.subgroup)
+        return row
+
+
+def evaluate_result(instance: SVGICInstance, result: AlgorithmResult) -> EvaluationReport:
+    """Compute every Section-6 metric for ``result`` on ``instance``."""
+    breakdown = result.breakdown
+    subgroup = subgroup_metrics(instance, result.configuration).as_dict()
+    regrets = regret_ratios(instance, result.configuration)
+    feasible = True
+    excess = 0
+    if isinstance(instance, SVGICSTInstance):
+        report = size_violation_report(instance, result.configuration)
+        feasible = report.feasible
+        excess = report.excess_users
+    return EvaluationReport(
+        algorithm=result.algorithm,
+        total_utility=breakdown.total,
+        preference_utility=breakdown.preference,
+        social_utility=breakdown.social + breakdown.indirect_social,
+        personal_share=breakdown.preference_share,
+        social_share=breakdown.social_share,
+        seconds=result.seconds,
+        mean_regret=float(np.mean(regrets)) if regrets.size else 0.0,
+        subgroup=subgroup,
+        regrets=regrets,
+        feasible=feasible,
+        excess_users=excess,
+        info=dict(result.info),
+    )
+
+
+def evaluation_table(
+    reports: Iterable[EvaluationReport],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    precision: int = 3,
+) -> str:
+    """Render a list of evaluation reports as an aligned text table."""
+    rows = [report.as_row() for report in reports]
+    if not rows:
+        return "(no results)"
+    if columns is None:
+        columns = [
+            "algorithm",
+            "total_utility",
+            "personal_pct",
+            "social_pct",
+            "co_display_pct",
+            "alone_pct",
+            "mean_regret",
+            "seconds",
+        ]
+    header = list(columns)
+    formatted: List[List[str]] = [header]
+    for row in rows:
+        cells = []
+        for column in header:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.{precision}f}")
+            else:
+                cells.append(str(value))
+        formatted.append(cells)
+    widths = [max(len(line[i]) for line in formatted) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in formatted]
+    separator = "  ".join("-" * width for width in widths)
+    return "\n".join([lines[0], separator] + lines[1:])
+
+
+__all__ = ["EvaluationReport", "evaluate_result", "evaluation_table"]

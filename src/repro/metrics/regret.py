@@ -1,0 +1,61 @@
+"""Regret / happiness ratios (Section 6.5) — per-user satisfaction and fairness.
+
+For each user ``u`` the happiness ratio compares the SAVG utility she
+actually receives with an optimistic upper bound: the utility she would get
+if the whole configuration were chosen selfishly in her favour (her k best
+items, all friends co-viewing each of them).  ``regret = 1 - happiness``.
+Low regret across all users indicates both high satisfaction and fairness;
+the paper compares algorithms by the CDF of the per-user regret ratios
+(Figure 10(g-i)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import SAVGConfiguration
+from repro.core.objective import optimistic_user_upper_bound, per_user_utility
+from repro.core.problem import SVGICInstance
+
+
+def happiness_ratios(instance: SVGICInstance, config: SAVGConfiguration) -> np.ndarray:
+    """Per-user happiness ratio ``hap(u) = achieved(u) / upper_bound(u)`` in [0, 1]."""
+    achieved = per_user_utility(instance, config)
+    upper = optimistic_user_upper_bound(instance)
+    ratios = np.ones(instance.num_users, dtype=float)
+    positive = upper > 0
+    ratios[positive] = np.clip(achieved[positive] / upper[positive], 0.0, 1.0)
+    return ratios
+
+
+def regret_ratios(instance: SVGICInstance, config: SAVGConfiguration) -> np.ndarray:
+    """Per-user regret ratio ``reg(u) = 1 - hap(u)``."""
+    return 1.0 - happiness_ratios(instance, config)
+
+
+def regret_cdf(
+    regrets: Sequence[float], grid: Sequence[float] | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of regret ratios evaluated on ``grid`` (default 0, 0.05, ..., 1).
+
+    Returns ``(grid, cdf)`` where ``cdf[i]`` is the fraction of users with
+    regret at most ``grid[i]`` — the series plotted in Figure 10(g-i).
+    """
+    regrets = np.asarray(list(regrets), dtype=float)
+    if grid is None:
+        grid = np.linspace(0.0, 1.0, 21)
+    grid = np.asarray(list(grid), dtype=float)
+    if regrets.size == 0:
+        return grid, np.zeros_like(grid)
+    cdf = np.array([(regrets <= threshold).mean() for threshold in grid])
+    return grid, cdf
+
+
+def mean_regret(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Mean per-user regret ratio (lower is better / fairer)."""
+    return float(np.mean(regret_ratios(instance, config)))
+
+
+__all__ = ["happiness_ratios", "regret_ratios", "regret_cdf", "mean_regret"]

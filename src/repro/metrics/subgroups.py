@@ -1,0 +1,139 @@
+"""Subgroup-structure metrics (Section 6.5): Inter/Intra%, density, Co-display%, Alone%.
+
+Given an SAVG k-Configuration, each slot implicitly partitions the users into
+subgroups (users sharing the displayed item).  The paper characterizes the
+partitions with:
+
+* **Intra% / Inter%** — the share of social (friend) pairs whose endpoints
+  fall in the same / different subgroups, averaged across slots;
+* **normalized density** — average edge density inside the subgroups divided
+  by the density of the whole social network;
+* **Co-display%** — fraction of friend pairs that share a view on at least
+  one common item somewhere in the configuration;
+* **Alone%** — fraction of users that are alone (singleton subgroup) in
+  every slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.configuration import SAVGConfiguration
+from repro.core.problem import SVGICInstance
+
+
+@dataclass(frozen=True)
+class SubgroupMetrics:
+    """Subgroup-structure summary of one configuration.
+
+    All ratios are in [0, 1]; multiply by 100 for the paper's percentages.
+    """
+
+    intra_edge_ratio: float
+    inter_edge_ratio: float
+    normalized_density: float
+    co_display_ratio: float
+    alone_ratio: float
+    mean_subgroup_size: float
+    max_subgroup_size: int
+    num_subgroups_per_slot: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the reporting helpers."""
+        return {
+            "intra_pct": 100.0 * self.intra_edge_ratio,
+            "inter_pct": 100.0 * self.inter_edge_ratio,
+            "normalized_density": self.normalized_density,
+            "co_display_pct": 100.0 * self.co_display_ratio,
+            "alone_pct": 100.0 * self.alone_ratio,
+            "mean_subgroup_size": self.mean_subgroup_size,
+            "max_subgroup_size": float(self.max_subgroup_size),
+            "subgroups_per_slot": self.num_subgroups_per_slot,
+        }
+
+
+def _graph_density(num_nodes: int, num_pairs: int) -> float:
+    """Undirected edge density ``|E| / (n choose 2)`` (0 for trivial graphs)."""
+    if num_nodes < 2:
+        return 0.0
+    return num_pairs / (num_nodes * (num_nodes - 1) / 2.0)
+
+
+def subgroup_metrics(instance: SVGICInstance, config: SAVGConfiguration) -> SubgroupMetrics:
+    """Compute the Section-6.5 subgroup metrics of ``config`` on ``instance``."""
+    n, k = instance.num_users, instance.num_slots
+    pairs = instance.pairs
+    num_pairs = pairs.shape[0]
+    pair_set = {(int(u), int(v)) for u, v in pairs}
+
+    base_density = _graph_density(n, num_pairs)
+
+    intra_total = 0
+    inter_total = 0
+    density_samples: List[float] = []
+    alone_flags = np.ones(n, dtype=bool)
+    subgroup_sizes: List[int] = []
+    subgroup_counts: List[int] = []
+
+    for slot in range(k):
+        groups = config.subgroups_at_slot(slot)
+        subgroup_counts.append(len(groups))
+        member_to_group: Dict[int, int] = {}
+        for gid, (_item, members) in enumerate(groups.items()):
+            subgroup_sizes.append(len(members))
+            if len(members) > 1:
+                for user in members:
+                    alone_flags[user] = False
+            for user in members:
+                member_to_group[user] = gid
+            # Density inside the subgroup.
+            if len(members) >= 2:
+                internal = sum(
+                    1
+                    for i, u in enumerate(members)
+                    for v in members[i + 1:]
+                    if (min(u, v), max(u, v)) in pair_set
+                )
+                density_samples.append(_graph_density(len(members), internal))
+            else:
+                density_samples.append(0.0)
+        for u, v in pairs:
+            if member_to_group.get(int(u)) == member_to_group.get(int(v)):
+                intra_total += 1
+            else:
+                inter_total += 1
+
+    total_edge_slots = max(1, num_pairs * k)
+    intra_ratio = intra_total / total_edge_slots
+    inter_ratio = inter_total / total_edge_slots
+
+    if density_samples and base_density > 0:
+        normalized_density = float(np.mean(density_samples)) / base_density
+    else:
+        normalized_density = 0.0
+
+    # Co-display%: friend pairs sharing at least one item at the same slot.
+    co_display = 0
+    for u, v in pairs:
+        u, v = int(u), int(v)
+        same = (config.assignment[u] == config.assignment[v]) & (config.assignment[u] >= 0)
+        if np.any(same):
+            co_display += 1
+    co_display_ratio = co_display / num_pairs if num_pairs else 0.0
+
+    return SubgroupMetrics(
+        intra_edge_ratio=intra_ratio,
+        inter_edge_ratio=inter_ratio,
+        normalized_density=normalized_density,
+        co_display_ratio=co_display_ratio,
+        alone_ratio=float(np.mean(alone_flags)) if n else 0.0,
+        mean_subgroup_size=float(np.mean(subgroup_sizes)) if subgroup_sizes else 0.0,
+        max_subgroup_size=int(max(subgroup_sizes)) if subgroup_sizes else 0,
+        num_subgroups_per_slot=float(np.mean(subgroup_counts)) if subgroup_counts else 0.0,
+    )
+
+
+__all__ = ["SubgroupMetrics", "subgroup_metrics"]

@@ -1,0 +1,221 @@
+"""Sparse linear-programming wrapper over SciPy's HiGHS backend.
+
+All linear programs in the library are *maximization* problems over variables
+bounded in ``[lb, ub]`` with sparse "less-or-equal" and "equal" constraint
+blocks.  :class:`LinearProgram` accumulates constraint triplets and hands a
+single sparse matrix to ``scipy.optimize.linprog``; this keeps model-building
+code in :mod:`repro.core.lp` close to the paper's algebraic formulation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+
+class LPError(RuntimeError):
+    """Raised when the underlying LP solver fails or reports infeasibility."""
+
+
+@dataclass
+class LPResult:
+    """Solution of a linear program.
+
+    Attributes
+    ----------
+    values:
+        Optimal variable values.
+    objective:
+        Optimal objective value *in the maximization sense*.
+    solve_seconds:
+        Wall-clock time spent inside the solver.
+    status:
+        Solver status string (``"optimal"`` on success).
+    """
+
+    values: np.ndarray
+    objective: float
+    solve_seconds: float
+    status: str = "optimal"
+
+
+class LinearProgram:
+    """Incrementally-built sparse LP ``max c^T x  s.t.  A_ub x <= b_ub, A_eq x = b_eq``.
+
+    Example
+    -------
+    >>> lp = LinearProgram(num_variables=2)
+    >>> lp.set_objective_coefficient(0, 1.0)
+    >>> lp.set_objective_coefficient(1, 1.0)
+    >>> lp.add_le_constraint([(0, 1.0), (1, 2.0)], 4.0)
+    >>> result = lp.solve()
+    >>> round(result.objective, 6)
+    2.0
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        *,
+        lower_bounds: Optional[np.ndarray] = None,
+        upper_bounds: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_variables <= 0:
+            raise ValueError(f"num_variables must be positive, got {num_variables}")
+        self.num_variables = int(num_variables)
+        self.objective = np.zeros(self.num_variables, dtype=float)
+        self.lower_bounds = (
+            np.zeros(self.num_variables) if lower_bounds is None else np.asarray(lower_bounds, float)
+        )
+        self.upper_bounds = (
+            np.ones(self.num_variables) if upper_bounds is None else np.asarray(upper_bounds, float)
+        )
+        if self.lower_bounds.shape != (self.num_variables,):
+            raise ValueError("lower_bounds has the wrong shape")
+        if self.upper_bounds.shape != (self.num_variables,):
+            raise ValueError("upper_bounds has the wrong shape")
+        # Constraint triplets: (row, col, coefficient)
+        self._ub_rows: List[int] = []
+        self._ub_cols: List[int] = []
+        self._ub_vals: List[float] = []
+        self._ub_rhs: List[float] = []
+        self._eq_rows: List[int] = []
+        self._eq_cols: List[int] = []
+        self._eq_vals: List[float] = []
+        self._eq_rhs: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Model building
+    # ------------------------------------------------------------------ #
+    def set_objective_coefficient(self, variable: int, coefficient: float) -> None:
+        """Set (overwrite) the maximization objective coefficient of ``variable``."""
+        self.objective[variable] = coefficient
+
+    def add_objective(self, variable: int, coefficient: float) -> None:
+        """Add ``coefficient`` to the objective coefficient of ``variable``."""
+        self.objective[variable] += coefficient
+
+    def add_le_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
+        """Add ``sum coeff * x_var <= rhs``; returns the constraint row index."""
+        row = len(self._ub_rhs)
+        for var, coeff in terms:
+            self._ub_rows.append(row)
+            self._ub_cols.append(int(var))
+            self._ub_vals.append(float(coeff))
+        self._ub_rhs.append(float(rhs))
+        return row
+
+    def add_eq_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
+        """Add ``sum coeff * x_var == rhs``; returns the constraint row index."""
+        row = len(self._eq_rhs)
+        for var, coeff in terms:
+            self._eq_rows.append(row)
+            self._eq_cols.append(int(var))
+            self._eq_vals.append(float(coeff))
+        self._eq_rhs.append(float(rhs))
+        return row
+
+    @property
+    def num_le_constraints(self) -> int:
+        """Number of <= constraints added so far."""
+        return len(self._ub_rhs)
+
+    @property
+    def num_eq_constraints(self) -> int:
+        """Number of == constraints added so far."""
+        return len(self._eq_rhs)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def build_matrices(self) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray],
+                                      Optional[sparse.csr_matrix], Optional[np.ndarray]]:
+        """Assemble (A_ub, b_ub, A_eq, b_eq) sparse matrices (``None`` when empty)."""
+        a_ub = b_ub = a_eq = b_eq = None
+        if self._ub_rhs:
+            a_ub = sparse.coo_matrix(
+                (self._ub_vals, (self._ub_rows, self._ub_cols)),
+                shape=(len(self._ub_rhs), self.num_variables),
+            ).tocsr()
+            b_ub = np.asarray(self._ub_rhs, dtype=float)
+        if self._eq_rhs:
+            a_eq = sparse.coo_matrix(
+                (self._eq_vals, (self._eq_rows, self._eq_cols)),
+                shape=(len(self._eq_rhs), self.num_variables),
+            ).tocsr()
+            b_eq = np.asarray(self._eq_rhs, dtype=float)
+        return a_ub, b_ub, a_eq, b_eq
+
+    def solve(self, *, time_limit: Optional[float] = None) -> LPResult:
+        """Solve the LP with HiGHS and return an :class:`LPResult`.
+
+        Raises :class:`LPError` if the solver does not reach optimality.
+        """
+        a_ub, b_ub, a_eq, b_eq = self.build_matrices()
+        bounds = list(zip(self.lower_bounds, self.upper_bounds))
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        start = time.perf_counter()
+        result = linprog(
+            c=-self.objective,  # linprog minimizes
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+            options=options or None,
+        )
+        elapsed = time.perf_counter() - start
+        if not result.success:
+            raise LPError(f"LP solve failed: {result.message}")
+        return LPResult(
+            values=np.asarray(result.x, dtype=float),
+            objective=-float(result.fun),
+            solve_seconds=elapsed,
+            status="optimal",
+        )
+
+
+def solve_linear_program(
+    objective: np.ndarray,
+    *,
+    a_ub: Optional[sparse.spmatrix] = None,
+    b_ub: Optional[np.ndarray] = None,
+    a_eq: Optional[sparse.spmatrix] = None,
+    b_eq: Optional[np.ndarray] = None,
+    lower_bounds: Optional[np.ndarray] = None,
+    upper_bounds: Optional[np.ndarray] = None,
+) -> LPResult:
+    """One-shot functional interface: maximize ``objective @ x`` under the given constraints."""
+    objective = np.asarray(objective, dtype=float)
+    n = objective.shape[0]
+    lb = np.zeros(n) if lower_bounds is None else np.asarray(lower_bounds, float)
+    ub = np.ones(n) if upper_bounds is None else np.asarray(upper_bounds, float)
+    start = time.perf_counter()
+    result = linprog(
+        c=-objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=list(zip(lb, ub)),
+        method="highs",
+    )
+    elapsed = time.perf_counter() - start
+    if not result.success:
+        raise LPError(f"LP solve failed: {result.message}")
+    return LPResult(
+        values=np.asarray(result.x, dtype=float),
+        objective=-float(result.fun),
+        solve_seconds=elapsed,
+    )
+
+
+__all__ = ["LinearProgram", "LPResult", "LPError", "solve_linear_program"]

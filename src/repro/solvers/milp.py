@@ -1,0 +1,212 @@
+"""Mixed-integer programming wrapper over SciPy's HiGHS MILP backend.
+
+The exact IP baseline of Section 3.3 and the MIP-strategy ablation of
+Figure 9(a) are solved through this module.  The interface mirrors
+:class:`repro.solvers.linprog.LinearProgram` (maximization, sparse triplet
+assembly) with an additional integrality mask and solver control knobs
+(``time_limit``, ``mip_rel_gap``, ``node_limit``) that stand in for the
+Gurobi strategy switches used in the paper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+
+class MILPError(RuntimeError):
+    """Raised when the MILP solver fails to return a usable solution."""
+
+
+@dataclass
+class MILPResult:
+    """Solution of a mixed-integer program.
+
+    Attributes
+    ----------
+    values:
+        Variable values of the incumbent solution.
+    objective:
+        Objective value of the incumbent (maximization sense).
+    solve_seconds:
+        Wall-clock time spent in the solver.
+    optimal:
+        ``True`` when the solver proved optimality; ``False`` when it stopped
+        at a feasible incumbent because of a time/gap/node limit.
+    mip_gap:
+        Relative optimality gap reported by the solver (``0.0`` when proven
+        optimal, ``nan`` when unknown).
+    """
+
+    values: np.ndarray
+    objective: float
+    solve_seconds: float
+    optimal: bool
+    mip_gap: float = 0.0
+
+
+class MixedIntegerProgram:
+    """Incrementally-built sparse MILP ``max c^T x``.
+
+    Variables are continuous in ``[lb, ub]`` unless marked integer via
+    :meth:`mark_integer`.
+    """
+
+    def __init__(
+        self,
+        num_variables: int,
+        *,
+        lower_bounds: Optional[np.ndarray] = None,
+        upper_bounds: Optional[np.ndarray] = None,
+    ) -> None:
+        if num_variables <= 0:
+            raise ValueError(f"num_variables must be positive, got {num_variables}")
+        self.num_variables = int(num_variables)
+        self.objective = np.zeros(self.num_variables, dtype=float)
+        self.lower_bounds = (
+            np.zeros(self.num_variables) if lower_bounds is None else np.asarray(lower_bounds, float)
+        )
+        self.upper_bounds = (
+            np.ones(self.num_variables) if upper_bounds is None else np.asarray(upper_bounds, float)
+        )
+        self.integrality = np.zeros(self.num_variables, dtype=np.int64)
+        self._rows: List[int] = []
+        self._cols: List[int] = []
+        self._vals: List[float] = []
+        self._lhs: List[float] = []
+        self._rhs: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Model building
+    # ------------------------------------------------------------------ #
+    def set_objective_coefficient(self, variable: int, coefficient: float) -> None:
+        """Set the maximization objective coefficient of ``variable``."""
+        self.objective[variable] = coefficient
+
+    def add_objective(self, variable: int, coefficient: float) -> None:
+        """Add ``coefficient`` to the objective coefficient of ``variable``."""
+        self.objective[variable] += coefficient
+
+    def mark_integer(self, variable: int) -> None:
+        """Require ``variable`` to take integer values."""
+        self.integrality[variable] = 1
+
+    def mark_integer_block(self, variables: Sequence[int]) -> None:
+        """Mark every variable in ``variables`` as integer."""
+        for variable in variables:
+            self.integrality[variable] = 1
+
+    def add_le_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> None:
+        """Add ``sum coeff * x_var <= rhs``."""
+        self._add_range_constraint(terms, -np.inf, rhs)
+
+    def add_eq_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> None:
+        """Add ``sum coeff * x_var == rhs``."""
+        self._add_range_constraint(terms, rhs, rhs)
+
+    def _add_range_constraint(
+        self, terms: Sequence[Tuple[int, float]], lhs: float, rhs: float
+    ) -> None:
+        row = len(self._rhs)
+        for var, coeff in terms:
+            self._rows.append(row)
+            self._cols.append(int(var))
+            self._vals.append(float(coeff))
+        self._lhs.append(float(lhs))
+        self._rhs.append(float(rhs))
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of linear constraints added so far."""
+        return len(self._rhs)
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        *,
+        time_limit: Optional[float] = None,
+        mip_rel_gap: Optional[float] = None,
+        node_limit: Optional[int] = None,
+    ) -> MILPResult:
+        """Solve with HiGHS MILP; raises :class:`MILPError` when no incumbent is found."""
+        constraints = []
+        if self._rhs:
+            matrix = sparse.coo_matrix(
+                (self._vals, (self._rows, self._cols)),
+                shape=(len(self._rhs), self.num_variables),
+            ).tocsc()
+            constraints.append(
+                LinearConstraint(matrix, np.asarray(self._lhs), np.asarray(self._rhs))
+            )
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+        if mip_rel_gap is not None:
+            options["mip_rel_gap"] = float(mip_rel_gap)
+        if node_limit is not None:
+            options["node_limit"] = int(node_limit)
+        start = time.perf_counter()
+        result = milp(
+            c=-self.objective,
+            constraints=constraints,
+            integrality=self.integrality,
+            bounds=Bounds(self.lower_bounds, self.upper_bounds),
+            options=options or None,
+        )
+        elapsed = time.perf_counter() - start
+        if result.x is None:
+            raise MILPError(f"MILP solve produced no incumbent: {result.message}")
+        gap = float(result.mip_gap) if getattr(result, "mip_gap", None) is not None else float("nan")
+        return MILPResult(
+            values=np.asarray(result.x, dtype=float),
+            objective=-float(result.fun),
+            solve_seconds=elapsed,
+            optimal=bool(result.status == 0),
+            mip_gap=gap,
+        )
+
+
+def solve_milp(
+    objective: np.ndarray,
+    constraint_matrix: Optional[sparse.spmatrix],
+    constraint_lower: Optional[np.ndarray],
+    constraint_upper: Optional[np.ndarray],
+    integrality: np.ndarray,
+    *,
+    lower_bounds: Optional[np.ndarray] = None,
+    upper_bounds: Optional[np.ndarray] = None,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: Optional[float] = None,
+) -> MILPResult:
+    """Functional one-shot MILP maximization interface."""
+    objective = np.asarray(objective, dtype=float)
+    n = objective.shape[0]
+    program = MixedIntegerProgram(
+        n,
+        lower_bounds=np.zeros(n) if lower_bounds is None else lower_bounds,
+        upper_bounds=np.ones(n) if upper_bounds is None else upper_bounds,
+    )
+    program.objective = objective
+    program.integrality = np.asarray(integrality, dtype=np.int64)
+    if constraint_matrix is not None:
+        coo = sparse.coo_matrix(constraint_matrix)
+        program._rows = list(coo.row)
+        program._cols = list(coo.col)
+        program._vals = list(coo.data)
+        program._lhs = list(
+            np.full(coo.shape[0], -np.inf) if constraint_lower is None else constraint_lower
+        )
+        program._rhs = list(
+            np.full(coo.shape[0], np.inf) if constraint_upper is None else constraint_upper
+        )
+    return program.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
+
+
+__all__ = ["MixedIntegerProgram", "MILPResult", "MILPError", "solve_milp"]

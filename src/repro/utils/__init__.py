@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG handling, validation helpers, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive_int,
+    check_probability_matrix,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive_int",
+    "check_probability_matrix",
+]

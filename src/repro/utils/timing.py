@@ -1,0 +1,101 @@
+"""Lightweight wall-clock timing used by the experiment harness.
+
+The paper reports execution time for every algorithm (Figures 3, 8, 12).
+``Timer`` gives a context-manager / decorator interface so algorithm wrappers
+can record runtimes without sprinkling ``time.perf_counter`` calls.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: List[float] = field(default_factory=list)
+    _start: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is None:
+            return
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    def reset(self) -> None:
+        """Clear all recorded time."""
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+    @property
+    def mean_lap(self) -> float:
+        """Average duration of recorded laps (0.0 when no laps)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+
+def timed(func: Callable[..., T]) -> Callable[..., tuple]:
+    """Decorator returning ``(result, seconds)`` instead of ``result``."""
+
+    @functools.wraps(func)
+    def wrapper(*args: object, **kwargs: object) -> tuple:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper
+
+
+class StageTimer:
+    """Named-stage timer for multi-phase algorithms (LP solve vs. rounding)."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, float] = {}
+
+    def stage(self, name: str) -> "_StageContext":
+        """Return a context manager recording time under ``name``."""
+        return _StageContext(self, name)
+
+    def total(self) -> float:
+        """Total time across all stages."""
+        return sum(self.stages.values())
+
+
+class _StageContext:
+    def __init__(self, owner: StageTimer, name: str) -> None:
+        self._owner = owner
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._owner.stages[self._name] = self._owner.stages.get(self._name, 0.0) + elapsed
+
+
+__all__ = ["Timer", "timed", "StageTimer"]

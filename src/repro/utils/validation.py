@@ -1,0 +1,60 @@
+"""Input validation helpers shared across the library.
+
+The public API raises :class:`ValueError` with explicit messages rather than
+failing deep inside numerical code; these helpers keep those checks short at
+call sites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a non-negative finite number."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in the unit interval."""
+    value = float(value)
+    if inclusive:
+        ok = 0.0 <= value <= 1.0
+    else:
+        ok = 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def check_probability_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """Validate a non-negative, finite 2-D utility matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {matrix.shape}")
+    if not np.all(np.isfinite(matrix)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(matrix < 0):
+        raise ValueError(f"{name} contains negative entries")
+    return matrix
+
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability_matrix",
+]

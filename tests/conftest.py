@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.data.example_paper import paper_example_instance
+from repro.data import datasets
+
+
+@pytest.fixture(scope="session")
+def paper_instance() -> SVGICInstance:
+    """The paper's running example (lambda = 0.5, k = 3)."""
+    return paper_example_instance()
+
+
+@pytest.fixture(scope="session")
+def tiny_instance() -> SVGICInstance:
+    """A deterministic 3-user / 4-item / 2-slot instance built by hand."""
+    preference = np.array(
+        [
+            [0.9, 0.1, 0.5, 0.0],
+            [0.2, 0.8, 0.4, 0.1],
+            [0.1, 0.2, 0.9, 0.6],
+        ]
+    )
+    edges = np.array([[0, 1], [1, 0], [1, 2], [2, 1]])
+    social = np.array(
+        [
+            [0.3, 0.1, 0.2, 0.0],
+            [0.2, 0.1, 0.1, 0.0],
+            [0.0, 0.3, 0.4, 0.1],
+            [0.1, 0.2, 0.3, 0.1],
+        ]
+    )
+    return SVGICInstance(
+        num_users=3,
+        num_items=4,
+        num_slots=2,
+        social_weight=0.5,
+        preference=preference,
+        edges=edges,
+        social=social,
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_timik_instance() -> SVGICInstance:
+    """A small synthetic Timik-like instance (seeded, reused across tests)."""
+    return datasets.make_instance(
+        "timik", num_users=12, num_items=30, num_slots=3, seed=42
+    )
+
+
+@pytest.fixture(scope="session")
+def small_st_instance() -> SVGICSTInstance:
+    """A small SVGIC-ST instance with a tight subgroup-size cap."""
+    return datasets.make_st_instance(
+        "timik",
+        num_users=12,
+        num_items=30,
+        num_slots=3,
+        max_subgroup_size=3,
+        teleport_discount=0.5,
+        seed=43,
+    )

@@ -1,0 +1,97 @@
+"""Tests for the deterministic AVG-D algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.avg_d import run_avg_d
+from repro.core.greedy import top_k_preference_configuration
+from repro.core.lp import solve_lp_relaxation
+from repro.core.objective import total_utility
+from repro.core.svgic_st import size_violation_report
+from repro.data import datasets
+from repro.data.example_paper import paper_example_instance
+from repro.metrics.subgroups import subgroup_metrics
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+@pytest.fixture(scope="module")
+def fractional(instance):
+    return solve_lp_relaxation(instance, prune_items=False)
+
+
+class TestRunAVGD:
+    def test_valid_configuration(self, instance, fractional):
+        result = run_avg_d(instance, fractional)
+        assert result.configuration.is_valid(instance)
+        assert result.algorithm == "AVG-D"
+
+    def test_objective_consistent_with_configuration(self, instance, fractional):
+        result = run_avg_d(instance, fractional)
+        assert result.objective == pytest.approx(
+            total_utility(instance, result.configuration)
+        )
+
+    def test_deterministic_across_calls(self, instance, fractional):
+        runs = [run_avg_d(instance, fractional, balancing_ratio=0.5) for _ in range(3)]
+        assert runs[0].configuration == runs[1].configuration == runs[2].configuration
+
+    def test_meets_quarter_of_lp_bound(self, instance, fractional):
+        result = run_avg_d(instance, fractional, balancing_ratio=0.25)
+        assert result.objective >= fractional.objective / 4.0 - 1e-9
+
+    def test_rejects_negative_ratio(self, instance, fractional):
+        with pytest.raises(ValueError):
+            run_avg_d(instance, fractional, balancing_ratio=-0.1)
+
+    def test_lambda_zero_special_case(self):
+        instance = paper_example_instance(social_weight=0.0)
+        result = run_avg_d(instance)
+        assert result.optimal
+        assert result.configuration == top_k_preference_configuration(instance)
+
+    def test_small_r_behaves_like_group_approach(self, small_timik_instance):
+        """r -> 0 ignores the future LP mass and greedily forms huge subgroups."""
+        result = run_avg_d(small_timik_instance, balancing_ratio=0.0)
+        metrics = subgroup_metrics(small_timik_instance, result.configuration)
+        assert metrics.max_subgroup_size == small_timik_instance.num_users
+
+    def test_large_r_behaves_like_personalized_approach(self, small_timik_instance):
+        """Very large r prioritizes future LP mass, keeping subgroups tiny."""
+        result = run_avg_d(small_timik_instance, balancing_ratio=50.0)
+        metrics = subgroup_metrics(small_timik_instance, result.configuration)
+        small_r = run_avg_d(small_timik_instance, balancing_ratio=0.0)
+        small_metrics = subgroup_metrics(small_timik_instance, small_r.configuration)
+        assert metrics.mean_subgroup_size < small_metrics.mean_subgroup_size
+
+    def test_st_instance_feasible(self, small_st_instance):
+        result = run_avg_d(small_st_instance)
+        report = size_violation_report(small_st_instance, result.configuration)
+        assert report.feasible
+
+    def test_without_advanced_sampling_same_quality_class(self, instance, fractional):
+        fast = run_avg_d(instance, fractional, balancing_ratio=1.0, advanced_sampling=True)
+        slow = run_avg_d(instance, fractional, balancing_ratio=1.0, advanced_sampling=False)
+        # Both variants are deterministic 4-approximations; the ablation only
+        # changes which (equivalent-quality-class) candidates get evaluated.
+        assert slow.configuration.is_valid(instance)
+        assert slow.objective >= fractional.objective / 4.0 - 1e-9
+        assert fast.objective >= fractional.objective / 4.0 - 1e-9
+
+    def test_full_lp_formulation_supported(self, instance):
+        result = run_avg_d(instance, lp_formulation="full", prune_items=False)
+        assert result.configuration.is_valid(instance)
+
+    def test_beats_baseline_utilities_on_synthetic_data(self):
+        instance = datasets.make_instance("timik", num_users=12, num_items=30, num_slots=3, seed=21)
+        from repro.baselines.personalized import run_per
+        from repro.baselines.subgroup import run_grf
+
+        ours = run_avg_d(instance, balancing_ratio=1.0)
+        assert ours.objective >= run_per(instance).objective - 1e-9
+        assert ours.objective >= run_grf(instance, rng=0).objective - 1e-9

@@ -1,0 +1,149 @@
+"""Tests for the baseline recommenders (PER, FMG, SDP, GRF) and the ST pre-partition wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.group import run_fmg, run_group, select_group_itemset
+from repro.baselines.personalized import run_per
+from repro.baselines.prepartition import balanced_prepartition, run_with_prepartition
+from repro.baselines.subgroup import (
+    friendship_communities,
+    preference_clusters,
+    run_grf,
+    run_sdp,
+)
+from repro.core.objective import total_utility
+from repro.core.svgic_st import size_violation_report
+from repro.data import datasets
+from repro.data.example_paper import paper_example_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+class TestPER:
+    def test_valid_and_preference_optimal_at_lambda_zero(self):
+        instance = paper_example_instance(social_weight=0.0)
+        result = run_per(instance)
+        assert result.optimal
+        assert result.configuration.is_valid(instance)
+
+    def test_each_user_gets_own_top_items(self, instance):
+        result = run_per(instance)
+        for u in range(instance.num_users):
+            expected = set(np.argsort(-instance.preference[u])[: instance.num_slots])
+            assert set(result.configuration.assignment[u].tolist()) == expected
+
+    def test_ignores_extra_kwargs(self, instance):
+        result = run_per(instance, rng=3, whatever=True)
+        assert result.algorithm == "PER"
+
+
+class TestGroupAndFMG:
+    def test_group_shows_same_items_to_everyone(self, instance):
+        result = run_group(instance)
+        assignment = result.configuration.assignment
+        assert (assignment == assignment[0]).all()
+
+    def test_group_itemset_ordered_by_value(self, instance):
+        items = select_group_itemset(instance, range(4))
+        # c5 has the highest full-group value in the running example.
+        assert items[0] == 4
+
+    def test_fmg_valid_configuration(self, instance):
+        result = run_fmg(instance)
+        assert result.configuration.is_valid(instance)
+        assert (result.configuration.assignment == result.configuration.assignment[0]).all()
+
+    def test_fairness_changes_or_keeps_selection(self, small_timik_instance):
+        plain = run_fmg(small_timik_instance, fairness_weight=0.0)
+        fair = run_fmg(small_timik_instance, fairness_weight=2.0)
+        # Both must be valid; the fairness-weighted pick may differ.
+        assert plain.configuration.is_valid(small_timik_instance)
+        assert fair.configuration.is_valid(small_timik_instance)
+
+    def test_itemset_respects_requested_size(self, instance):
+        items = select_group_itemset(instance, range(4), num_items=2)
+        assert len(items) == 2
+        assert len(set(items)) == 2
+
+
+class TestSubgroupBaselines:
+    def test_friendship_communities_cover_all_users(self, small_timik_instance):
+        partition = friendship_communities(small_timik_instance)
+        users = sorted(u for part in partition for u in part)
+        assert users == list(range(small_timik_instance.num_users))
+
+    def test_preference_clusters_cover_all_users(self, small_timik_instance):
+        clusters = preference_clusters(small_timik_instance, rng=0)
+        users = sorted(u for part in clusters for u in part)
+        assert users == list(range(small_timik_instance.num_users))
+
+    def test_preference_clusters_respect_requested_count(self, small_timik_instance):
+        clusters = preference_clusters(small_timik_instance, num_clusters=3, rng=0)
+        assert 1 <= len(clusters) <= 3
+
+    def test_sdp_partition_is_static_across_slots(self, small_timik_instance):
+        result = run_sdp(small_timik_instance)
+        assignment = result.configuration.assignment
+        partition = result.info["partition"]
+        for members in partition:
+            rows = assignment[members]
+            assert (rows == rows[0]).all()
+
+    def test_grf_partition_is_static_across_slots(self, small_timik_instance):
+        result = run_grf(small_timik_instance, rng=1)
+        assignment = result.configuration.assignment
+        for members in result.info["partition"]:
+            rows = assignment[members]
+            assert (rows == rows[0]).all()
+
+    def test_sdp_and_grf_valid(self, small_timik_instance):
+        assert run_sdp(small_timik_instance).configuration.is_valid(small_timik_instance)
+        assert run_grf(small_timik_instance, rng=2).configuration.is_valid(small_timik_instance)
+
+    def test_fixed_partitions_override_detection(self, instance):
+        result = run_sdp(instance, communities=[[0, 3], [1, 2]])
+        assert result.info["num_subgroups"] == 2
+
+
+class TestPrepartition:
+    def test_balanced_sizes_respect_cap(self, small_st_instance):
+        groups = balanced_prepartition(small_st_instance, small_st_instance.max_subgroup_size)
+        assert all(len(g) <= small_st_instance.max_subgroup_size for g in groups)
+        users = sorted(u for g in groups for u in g)
+        assert users == list(range(small_st_instance.num_users))
+
+    def test_random_partition_variant(self, small_st_instance):
+        groups = balanced_prepartition(
+            small_st_instance, 4, social_aware=False, rng=0
+        )
+        assert sum(len(g) for g in groups) == small_st_instance.num_users
+
+    def test_rejects_non_positive_cap(self, small_st_instance):
+        with pytest.raises(ValueError):
+            balanced_prepartition(small_st_instance, 0)
+
+    def test_wrapped_baseline_produces_valid_configuration(self, small_st_instance):
+        result = run_with_prepartition(run_fmg, small_st_instance, rng=0)
+        assert result.configuration.is_valid(small_st_instance)
+        assert result.algorithm.endswith("-P")
+
+    def test_prepartition_reduces_or_keeps_violations_for_fmg(self, small_st_instance):
+        raw = run_fmg(small_st_instance)
+        wrapped = run_with_prepartition(run_fmg, small_st_instance, rng=1)
+        raw_violation = size_violation_report(small_st_instance, raw.configuration).excess_users
+        wrapped_violation = size_violation_report(
+            small_st_instance, wrapped.configuration
+        ).excess_users
+        assert wrapped_violation <= raw_violation
+
+    def test_objective_recorded_on_full_instance(self, small_st_instance):
+        result = run_with_prepartition(run_per, small_st_instance, rng=2)
+        assert result.objective == pytest.approx(
+            total_utility(small_st_instance, result.configuration)
+        )

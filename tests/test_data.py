@@ -1,0 +1,192 @@
+"""Tests for the synthetic data substrates (graphs, utility models, datasets, user study)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.data import adversarial, datasets, social_graphs, user_study
+from repro.data.utility_models import DATASET_PROFILES, generate_utilities
+
+
+class TestSocialGraphs:
+    @pytest.mark.parametrize("dataset", ["timik", "epinions", "yelp"])
+    def test_generators_produce_requested_size(self, dataset):
+        graph = social_graphs.generate_graph(dataset, 30, rng=0)
+        assert graph.number_of_nodes() == 30
+        assert set(graph.nodes()) == set(range(30))
+
+    def test_timik_denser_than_epinions(self):
+        timik = social_graphs.timik_like_graph(60, rng=1)
+        epinions = social_graphs.epinions_like_graph(60, rng=1)
+        assert timik.number_of_edges() > epinions.number_of_edges()
+
+    def test_yelp_has_communities(self):
+        graph = social_graphs.yelp_like_graph(40, rng=2)
+        communities = nx.algorithms.community.greedy_modularity_communities(graph)
+        assert len(communities) >= 2
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            social_graphs.generate_graph("amazon", 10)
+
+    def test_directed_edges_both_directions(self):
+        graph = nx.path_graph(4)
+        edges = social_graphs.directed_edges(graph)
+        assert edges.shape == (6, 2)
+        assert {tuple(e) for e in edges.tolist()} == {
+            (0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)
+        }
+
+    def test_random_walk_sample_size_and_membership(self):
+        graph = social_graphs.timik_like_graph(80, rng=3)
+        nodes = social_graphs.random_walk_sample(graph, 15, rng=3)
+        assert len(nodes) == 15
+        assert all(0 <= v < 80 for v in nodes)
+
+    def test_random_walk_sample_full_graph(self):
+        graph = nx.path_graph(5)
+        assert social_graphs.random_walk_sample(graph, 10, rng=0) == [0, 1, 2, 3, 4]
+
+    def test_random_walk_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            social_graphs.random_walk_sample(nx.path_graph(3), 0)
+
+    def test_ego_network_radius(self):
+        graph = nx.path_graph(7)
+        assert social_graphs.ego_network(graph, 3, radius=2) == [1, 2, 3, 4, 5]
+
+
+class TestUtilityModels:
+    def make_edges(self, n=10, seed=0):
+        graph = social_graphs.timik_like_graph(n, rng=seed)
+        return social_graphs.directed_edges(graph), n
+
+    @pytest.mark.parametrize("model", ["piert", "agree", "gree"])
+    def test_ranges_and_shapes(self, model):
+        edges, n = self.make_edges()
+        tables = generate_utilities(edges, n, 20, model=model, dataset="timik", rng=1)
+        assert tables.preference.shape == (n, 20)
+        assert tables.social.shape == (edges.shape[0], 20)
+        assert tables.preference.min() >= 0 and tables.preference.max() <= 1
+        assert tables.social.min() >= 0 and tables.social.max() <= 1
+
+    def test_agree_social_is_pair_independent(self):
+        edges, n = self.make_edges()
+        tables = generate_utilities(edges, n, 15, model="agree", dataset="timik", rng=2)
+        # Up to the small asymmetry jitter, rows should be highly correlated
+        # with the item signal; check the column-wise ordering is identical
+        # across edges (equal social influence between users).
+        order_first = np.argsort(tables.social[0])
+        order_last = np.argsort(tables.social[-1])
+        assert np.array_equal(order_first, order_last)
+
+    def test_unknown_model_rejected(self):
+        edges, n = self.make_edges()
+        with pytest.raises(ValueError):
+            generate_utilities(edges, n, 10, model="bert")
+
+    def test_unknown_profile_rejected(self):
+        edges, n = self.make_edges()
+        with pytest.raises(ValueError):
+            generate_utilities(edges, n, 10, dataset="amazon")
+
+    def test_epinions_social_weaker_than_timik(self):
+        edges, n = self.make_edges(seed=4)
+        timik = generate_utilities(edges, n, 20, dataset="timik", rng=5)
+        epinions = generate_utilities(edges, n, 20, dataset="epinions", rng=5)
+        assert epinions.social.mean() < timik.social.mean()
+
+    def test_profiles_registered(self):
+        assert set(DATASET_PROFILES) == {"timik", "epinions", "yelp"}
+
+
+class TestDatasets:
+    def test_make_instance_valid(self):
+        instance = datasets.make_instance("yelp", num_users=15, num_items=25, num_slots=3, seed=7)
+        assert isinstance(instance, SVGICInstance)
+        assert instance.num_users == 15 and instance.num_items == 25
+        assert instance.name == "yelp-piert"
+
+    def test_make_instance_reproducible(self):
+        a = datasets.make_instance("timik", num_users=10, num_items=20, num_slots=3, seed=11)
+        b = datasets.make_instance("timik", num_users=10, num_items=20, num_slots=3, seed=11)
+        np.testing.assert_allclose(a.preference, b.preference)
+        np.testing.assert_array_equal(a.edges, b.edges)
+        np.testing.assert_allclose(a.social, b.social)
+
+    def test_make_st_instance(self):
+        instance = datasets.make_st_instance(
+            "timik", num_users=10, num_items=20, num_slots=3, max_subgroup_size=4, seed=8
+        )
+        assert isinstance(instance, SVGICSTInstance)
+        assert instance.max_subgroup_size == 4
+
+    def test_small_sampled_instance(self):
+        instance = datasets.small_sampled_instance(
+            "timik", population_users=60, num_users=8, num_items=15, num_slots=3, seed=9
+        )
+        assert instance.num_users == 8
+        assert instance.num_items == 15
+
+    def test_ego_network_instance(self):
+        instance = datasets.ego_network_instance(
+            "yelp", population_users=60, max_users=10, num_items=20, num_slots=3, seed=10
+        )
+        assert 1 <= instance.num_users <= 10
+
+    def test_graph_mismatch_rejected(self):
+        graph = nx.path_graph(5)
+        with pytest.raises(ValueError):
+            datasets.make_instance("timik", num_users=10, num_items=20, num_slots=3, graph=graph)
+
+
+class TestAdversarialInstances:
+    def test_group_gap_structure(self):
+        instance = adversarial.group_gap_instance(4, 2)
+        assert instance.num_items == 8
+        assert instance.num_edges == 0
+        # Each item preferred by exactly one user.
+        assert np.all(instance.preference.sum(axis=0) == 1.0)
+
+    def test_personalized_gap_structure(self):
+        instance = adversarial.personalized_gap_instance(4, 2)
+        assert instance.num_edges == 12  # complete directed graph on 4 nodes
+        assert np.all(instance.social == 1.0)
+
+    def test_indifferent_instance_structure(self):
+        instance = adversarial.indifferent_instance(3, 5, 2, tau=0.7)
+        assert np.all(instance.preference == 0)
+        assert np.all(instance.social == 0.7)
+
+
+class TestUserStudy:
+    def test_population_shape_and_lambda_range(self):
+        population = user_study.generate_population(12, num_items=15, num_slots=3, seed=1)
+        assert population.instance.num_users == 12
+        assert population.user_lambdas.shape == (12,)
+        assert population.user_lambdas.min() >= 0.15
+        assert population.user_lambdas.max() <= 0.85
+        # Preferences quantized to the Likert scale.
+        levels = np.unique(np.round(population.instance.preference * 5))
+        assert np.all(np.isin(levels, [0, 1, 2, 3, 4, 5]))
+
+    def test_satisfaction_scores_in_likert_range(self):
+        population = user_study.generate_population(10, num_items=15, num_slots=3, seed=2)
+        from repro.baselines.personalized import run_per
+
+        config = run_per(population.instance).configuration
+        scores = user_study.simulate_satisfaction(population.instance, config, rng=3)
+        assert scores.shape == (10,)
+        assert scores.min() >= 1 and scores.max() <= 5
+
+    def test_correlation_report_perfect_monotone(self):
+        report = user_study.correlation_report([1, 2, 3, 4], [2, 3, 4, 5])
+        assert report["spearman"] == pytest.approx(1.0)
+        assert report["pearson"] == pytest.approx(1.0)
+
+    def test_correlation_report_degenerate(self):
+        report = user_study.correlation_report([1.0, 1.0], [2.0, 3.0])
+        assert report == {"spearman": 0.0, "pearson": 0.0}

@@ -1,0 +1,285 @@
+"""Tests for the Section-5 extensions and the SEO application."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.personalized import run_per
+from repro.core.avg_d import run_avg_d
+from repro.core.objective import total_utility, weighted_total_utility
+from repro.core.problem import SVGICSTInstance
+from repro.data import datasets
+from repro.data.example_paper import optimal_configuration, paper_example_instance
+from repro.extensions.commodity import apply_commodity_values, solve_with_commodity_values
+from repro.extensions.dynamic import DynamicSession
+from repro.extensions.groupwise import (
+    DiminishingReturnsModel,
+    ThresholdBoostModel,
+    groupwise_total_utility,
+    maximal_co_display_groups,
+)
+from repro.extensions.multi_view import extend_to_multi_view, multi_view_utility
+from repro.extensions.seo import SEOInstance, organize_events
+from repro.extensions.slot_significance import (
+    aisle_significance,
+    optimize_slot_order,
+    solve_with_slot_significance,
+)
+from repro.extensions.subgroup_change import (
+    edit_distance_between_slots,
+    smooth_subgroup_changes,
+    subgroup_change_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+class TestCommodity:
+    def test_uniform_values_change_nothing_structural(self, instance):
+        weighted = apply_commodity_values(instance, np.ones(5))
+        np.testing.assert_allclose(weighted.preference, instance.preference)
+
+    def test_scaling_applied_to_both_tables(self, instance):
+        omega = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        weighted = apply_commodity_values(instance, omega)
+        np.testing.assert_allclose(weighted.preference, instance.preference * omega)
+        np.testing.assert_allclose(weighted.social, instance.social * omega)
+
+    def test_rejects_bad_values(self, instance):
+        with pytest.raises(ValueError):
+            apply_commodity_values(instance, np.ones(3))
+        with pytest.raises(ValueError):
+            apply_commodity_values(instance, -np.ones(5))
+
+    def test_solver_wrapper_reports_profit(self, instance):
+        omega = np.array([0.5, 1.0, 2.0, 1.5, 3.0])
+        result = solve_with_commodity_values(instance, omega, run_avg_d, prune_items=False)
+        expected = weighted_total_utility(
+            instance, result.configuration, commodity_values=omega
+        )
+        assert result.info["expected_profit"] == pytest.approx(expected)
+
+    def test_high_value_item_gets_displayed(self, instance):
+        omega = np.array([1.0, 1.0, 100.0, 1.0, 1.0])  # PSD becomes very profitable
+        result = solve_with_commodity_values(instance, omega, run_avg_d, prune_items=False)
+        assert np.any(result.configuration.assignment == 2)
+
+
+class TestSlotSignificance:
+    def test_aisle_profile_shape(self):
+        gamma = aisle_significance(5, peak=9.0)
+        assert gamma[2] == pytest.approx(9.0)
+        assert gamma[0] == pytest.approx(1.0)
+        assert gamma[-1] == pytest.approx(1.0)
+        assert len(gamma) == 5
+
+    def test_single_slot(self):
+        assert aisle_significance(1)[0] == pytest.approx(9.0)
+
+    def test_reordering_never_hurts_weighted_utility(self, instance):
+        config = optimal_configuration(instance)
+        gamma = np.array([3.0, 1.0, 2.0])
+        reordered = optimize_slot_order(instance, config, gamma)
+        before = weighted_total_utility(instance, config, slot_significance=gamma)
+        after = weighted_total_utility(instance, reordered, slot_significance=gamma)
+        assert after >= before - 1e-9
+
+    def test_reordering_preserves_unweighted_utility(self, instance):
+        config = optimal_configuration(instance)
+        gamma = np.array([5.0, 1.0, 1.0])
+        reordered = optimize_slot_order(instance, config, gamma)
+        assert total_utility(instance, reordered) == pytest.approx(
+            total_utility(instance, config)
+        )
+
+    def test_wrapper_runs(self, instance):
+        gamma = aisle_significance(3)
+        result = solve_with_slot_significance(instance, gamma, run_avg_d, prune_items=False)
+        assert result.configuration.is_valid(instance)
+        assert "weighted_utility" in result.info
+
+    def test_rejects_bad_shape(self, instance):
+        with pytest.raises(ValueError):
+            optimize_slot_order(instance, optimal_configuration(instance), np.ones(2))
+
+
+class TestMultiView:
+    def test_extension_adds_group_views(self, instance):
+        primary = run_per(instance).configuration
+        mvd = extend_to_multi_view(instance, primary, views_per_slot=3)
+        assert any(mvd.group_views.values())
+        for (user, slot), items in mvd.group_views.items():
+            assert len(items) <= 2  # budget minus the primary view
+            assert int(primary.assignment[user, slot]) not in items
+
+    def test_no_duplicate_views_per_user(self, instance):
+        primary = run_per(instance).configuration
+        mvd = extend_to_multi_view(instance, primary, views_per_slot=3)
+        for user in range(instance.num_users):
+            items = mvd.all_items_for_user(user)
+            assert len(items) == len(set(items))
+
+    def test_utility_never_below_primary(self, instance):
+        primary = run_per(instance).configuration
+        mvd = extend_to_multi_view(instance, primary, views_per_slot=3)
+        assert multi_view_utility(instance, mvd) >= total_utility(instance, primary) - 1e-9
+
+    def test_single_view_equals_primary(self, instance):
+        primary = optimal_configuration(instance)
+        mvd = extend_to_multi_view(instance, primary, views_per_slot=1)
+        assert not mvd.group_views
+        assert multi_view_utility(instance, mvd) == pytest.approx(
+            total_utility(instance, primary)
+        )
+
+    def test_rejects_zero_views(self, instance):
+        with pytest.raises(ValueError):
+            extend_to_multi_view(instance, optimal_configuration(instance), views_per_slot=0)
+
+
+class TestGroupwise:
+    def test_pairwise_reduces_to_definition3_with_decay_one(self, instance):
+        config = optimal_configuration(instance)
+        model = DiminishingReturnsModel(decay=1.0)
+        assert groupwise_total_utility(instance, config, model) == pytest.approx(
+            total_utility(instance, config)
+        )
+
+    def test_diminishing_returns_never_exceeds_pairwise_sum(self, instance):
+        config = optimal_configuration(instance)
+        concave = groupwise_total_utility(instance, config, DiminishingReturnsModel(decay=0.5))
+        pairwise = total_utility(instance, config)
+        assert concave <= pairwise + 1e-9
+
+    def test_threshold_boost_at_least_pairwise(self, instance):
+        config = optimal_configuration(instance)
+        boosted = groupwise_total_utility(instance, config, ThresholdBoostModel(critical_mass=2))
+        assert boosted >= total_utility(instance, config) - 1e-9
+
+    def test_maximal_groups_only_contain_friends(self, instance):
+        config = optimal_configuration(instance)
+        groups = maximal_co_display_groups(instance, config)
+        neighbor_sets = instance.neighbors
+        for (user, _slot), friends in groups.items():
+            assert all(f in neighbor_sets[user] for f in friends)
+
+
+class TestSubgroupChange:
+    def test_edit_distance_zero_for_identical_slots(self, instance):
+        config = optimal_configuration(instance)
+        assert edit_distance_between_slots(instance, config, 0, 0) == 0
+
+    def test_change_cost_non_negative(self, instance):
+        assert subgroup_change_cost(instance, optimal_configuration(instance)) >= 0
+
+    def test_smoothing_preserves_utility_and_not_worse(self, instance):
+        config = optimal_configuration(instance)
+        smoothed = smooth_subgroup_changes(instance, config)
+        assert total_utility(instance, smoothed) == pytest.approx(total_utility(instance, config))
+        assert subgroup_change_cost(instance, smoothed) <= subgroup_change_cost(instance, config)
+
+    def test_smoothing_on_larger_instance(self, small_timik_instance):
+        config = run_avg_d(small_timik_instance).configuration
+        smoothed = smooth_subgroup_changes(small_timik_instance, config)
+        assert smoothed.is_valid(small_timik_instance)
+
+
+class TestDynamic:
+    def make_session(self):
+        instance = datasets.make_st_instance(
+            "timik", num_users=8, num_items=20, num_slots=3, max_subgroup_size=4, seed=3
+        )
+        config = run_avg_d(instance).configuration
+        return instance, DynamicSession(instance, config)
+
+    def test_remove_and_readd_user(self):
+        instance, session = self.make_session()
+        before = session.current_utility()
+        session.remove_user(0)
+        assert not session.active[0]
+        session.add_user(0)
+        assert session.active[0]
+        assert session.configuration.is_valid(instance)
+        assert len(session.events) == 2
+
+    def test_add_respects_no_duplication_and_size_cap(self):
+        instance, session = self.make_session()
+        session.remove_user(1)
+        session.add_user(1)
+        row = session.configuration.assignment[1]
+        assert len(set(row.tolist())) == instance.num_slots
+        assert session.configuration.max_subgroup_size() <= instance.max_subgroup_size
+
+    def test_local_search_never_decreases_utility(self):
+        instance, session = self.make_session()
+        before = session.current_utility()
+        session.local_search(2)
+        assert session.current_utility() >= before - 1e-9
+
+    def test_remove_inactive_raises(self):
+        _instance, session = self.make_session()
+        session.remove_user(0)
+        with pytest.raises(ValueError):
+            session.remove_user(0)
+
+    def test_teleport_suggestions_are_indirect_co_displays(self):
+        instance, session = self.make_session()
+        for friend, item, slot in session.teleport_suggestions(0):
+            assert int(session.configuration.assignment[friend, slot]) == item
+            assert int(session.configuration.assignment[0, slot]) != item
+
+
+class TestSEO:
+    def make_seo(self):
+        rng = np.random.default_rng(5)
+        num_attendees, num_events, rounds = 9, 6, 2
+        affinity = rng.uniform(0, 1, size=(num_attendees, num_events))
+        edges = []
+        for u in range(num_attendees):
+            for v in range(num_attendees):
+                if u != v and rng.random() < 0.25:
+                    edges.append((u, v))
+        edges = np.asarray(edges, dtype=np.int64)
+        synergy = rng.uniform(0, 0.5, size=(len(edges), num_events))
+        return SEOInstance(
+            num_attendees=num_attendees,
+            num_events=num_events,
+            num_rounds=rounds,
+            affinity=affinity,
+            friendships=edges,
+            synergy=synergy,
+            capacity=4,
+        )
+
+    def test_reduction_to_svgic_st(self):
+        seo = self.make_seo()
+        svgic = seo.to_svgic_st()
+        assert isinstance(svgic, SVGICSTInstance)
+        assert svgic.max_subgroup_size == 4
+        assert svgic.num_slots == 2
+
+    def test_plan_respects_capacity_and_rounds(self):
+        seo = self.make_seo()
+        plan = organize_events(seo)
+        assert plan.feasible
+        for event, per_round in plan.assignments.items():
+            assert len(per_round) == seo.num_rounds
+            for attendees in per_round:
+                assert len(attendees) <= seo.capacity
+
+    def test_every_attendee_gets_one_event_per_round(self):
+        seo = self.make_seo()
+        plan = organize_events(seo)
+        for round_index in range(seo.num_rounds):
+            assigned = []
+            for _event, per_round in plan.assignments.items():
+                assigned.extend(per_round[round_index])
+            assert sorted(assigned) == list(range(seo.num_attendees))
+
+    def test_plan_utility_positive(self):
+        plan = organize_events(self.make_seo())
+        assert plan.total_utility > 0

@@ -1,0 +1,127 @@
+"""Tests for the subgroup, regret and evaluation metrics (Section 6.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.group import run_group
+from repro.baselines.personalized import run_per
+from repro.core.avg_d import run_avg_d
+from repro.core.configuration import SAVGConfiguration
+from repro.metrics.evaluation import evaluate_result, evaluation_table
+from repro.metrics.regret import happiness_ratios, mean_regret, regret_cdf, regret_ratios
+from repro.metrics.subgroups import subgroup_metrics
+from repro.data.example_paper import (
+    group_configuration,
+    optimal_configuration,
+    paper_example_instance,
+    personalized_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+class TestSubgroupMetrics:
+    def test_group_configuration_is_one_big_subgroup(self, instance):
+        metrics = subgroup_metrics(instance, group_configuration(instance))
+        assert metrics.intra_edge_ratio == pytest.approx(1.0)
+        assert metrics.inter_edge_ratio == pytest.approx(0.0)
+        assert metrics.co_display_ratio == pytest.approx(1.0)
+        assert metrics.alone_ratio == pytest.approx(0.0)
+        assert metrics.normalized_density == pytest.approx(1.0)
+        assert metrics.max_subgroup_size == instance.num_users
+
+    def test_personalized_configuration_mostly_alone(self, instance):
+        metrics = subgroup_metrics(instance, personalized_configuration(instance))
+        assert metrics.co_display_ratio == pytest.approx(0.0)
+        assert metrics.alone_ratio == pytest.approx(1.0)
+        assert metrics.intra_edge_ratio == pytest.approx(0.0)
+
+    def test_savg_configuration_in_between(self, instance):
+        metrics = subgroup_metrics(instance, optimal_configuration(instance))
+        assert 0.0 < metrics.intra_edge_ratio < 1.0
+        assert metrics.co_display_ratio == pytest.approx(1.0)
+        assert metrics.alone_ratio == pytest.approx(0.0)
+
+    def test_ratios_sum_to_one(self, instance):
+        metrics = subgroup_metrics(instance, optimal_configuration(instance))
+        assert metrics.intra_edge_ratio + metrics.inter_edge_ratio == pytest.approx(1.0)
+
+    def test_as_dict_keys(self, instance):
+        data = subgroup_metrics(instance, optimal_configuration(instance)).as_dict()
+        for key in ("intra_pct", "inter_pct", "co_display_pct", "alone_pct", "normalized_density"):
+            assert key in data
+
+    def test_empty_social_network(self):
+        from repro.data.adversarial import group_gap_instance
+
+        instance = group_gap_instance(3, 2)
+        config = SAVGConfiguration(
+            assignment=np.array([[0, 3], [1, 4], [2, 5]]), num_items=instance.num_items
+        )
+        metrics = subgroup_metrics(instance, config)
+        assert metrics.co_display_ratio == 0.0
+        assert metrics.normalized_density == 0.0
+
+
+class TestRegret:
+    def test_regret_plus_happiness_is_one(self, instance):
+        config = optimal_configuration(instance)
+        np.testing.assert_allclose(
+            regret_ratios(instance, config) + happiness_ratios(instance, config), 1.0
+        )
+
+    def test_regret_in_unit_interval(self, instance):
+        for config_fn in (optimal_configuration, group_configuration, personalized_configuration):
+            regrets = regret_ratios(instance, config_fn(instance))
+            assert np.all(regrets >= 0) and np.all(regrets <= 1)
+
+    def test_optimal_has_lower_mean_regret_than_personalized(self, instance):
+        assert mean_regret(instance, optimal_configuration(instance)) < mean_regret(
+            instance, personalized_configuration(instance)
+        )
+
+    def test_regret_cdf_monotone(self, instance):
+        regrets = regret_ratios(instance, group_configuration(instance))
+        grid, cdf = regret_cdf(regrets)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_regret_cdf_empty_input(self):
+        grid, cdf = regret_cdf([])
+        assert np.all(cdf == 0)
+
+
+class TestEvaluationReport:
+    def test_report_fields(self, instance):
+        report = evaluate_result(instance, run_avg_d(instance, prune_items=False))
+        row = report.as_row()
+        assert row["algorithm"] == "AVG-D"
+        assert row["total_utility"] > 0
+        assert 0 <= row["personal_pct"] <= 100
+        assert 0 <= row["co_display_pct"] <= 100
+        assert report.personal_share + report.social_share == pytest.approx(1.0)
+
+    def test_table_rendering(self, instance):
+        reports = [
+            evaluate_result(instance, run_per(instance)),
+            evaluate_result(instance, run_group(instance)),
+        ]
+        table = evaluation_table(reports)
+        assert "PER" in table and "GROUP" in table
+        assert "algorithm" in table
+
+    def test_table_empty(self):
+        assert "no results" in evaluation_table([])
+
+    def test_st_feasibility_flag(self, small_st_instance):
+        from repro.baselines.group import run_fmg
+
+        report = evaluate_result(small_st_instance, run_fmg(small_st_instance))
+        # FMG shows the same item to all 12 users while M = 3: infeasible.
+        assert not report.feasible
+        assert report.excess_users > 0

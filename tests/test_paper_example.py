@@ -1,0 +1,128 @@
+"""End-to-end reproduction of the paper's running example (Tables 1, 7-9; Examples 2-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.group import run_fmg, run_group
+from repro.baselines.personalized import run_per
+from repro.baselines.subgroup import run_grf, run_sdp
+from repro.core.avg import run_avg
+from repro.core.avg_d import run_avg_d
+from repro.core.ip import solve_exact
+from repro.core.lp import solve_lp_relaxation
+from repro.core.objective import scaled_total_utility
+from repro.data.example_paper import (
+    FRIENDSHIP_PARTITION,
+    PREFERENCE_PARTITION,
+    avg_d_example_configuration,
+    avg_example_configuration,
+    group_configuration,
+    optimal_configuration,
+    paper_example_instance,
+    partition_indices,
+    personalized_configuration,
+    subgroup_by_friendship_configuration,
+    subgroup_by_preference_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+@pytest.fixture(scope="module")
+def fractional(instance):
+    return solve_lp_relaxation(instance, prune_items=False)
+
+
+class TestTableUtilities:
+    """The scaled SAVG utilities reported for each approach in Section 4.3 / Table 9."""
+
+    def test_optimal_configuration_value(self, instance):
+        assert scaled_total_utility(instance, optimal_configuration(instance)) == pytest.approx(10.35)
+
+    def test_avg_trace_value(self, instance):
+        assert scaled_total_utility(instance, avg_example_configuration(instance)) == pytest.approx(9.75)
+
+    def test_avg_d_trace_value(self, instance):
+        assert scaled_total_utility(instance, avg_d_example_configuration(instance)) == pytest.approx(9.85)
+
+    def test_personalized_value(self, instance):
+        assert scaled_total_utility(instance, personalized_configuration(instance)) == pytest.approx(8.25)
+
+    def test_group_value(self, instance):
+        assert scaled_total_utility(instance, group_configuration(instance)) == pytest.approx(8.35)
+
+    def test_subgroup_by_friendship_value(self, instance):
+        assert scaled_total_utility(
+            instance, subgroup_by_friendship_configuration(instance)
+        ) == pytest.approx(8.4)
+
+    def test_subgroup_by_preference_value(self, instance):
+        assert scaled_total_utility(
+            instance, subgroup_by_preference_configuration(instance)
+        ) == pytest.approx(8.7)
+
+
+class TestAlgorithmsOnExample:
+    def test_ip_finds_the_paper_optimum(self, instance):
+        result = solve_exact(instance, prune_items=False)
+        assert result.optimal
+        assert result.scaled_objective(instance) == pytest.approx(10.35)
+
+    def test_lp_upper_bound_at_least_optimum(self, instance, fractional):
+        assert fractional.scaled_objective(instance) >= 10.35 - 1e-9
+
+    def test_per_matches_table9(self, instance):
+        result = run_per(instance)
+        assert result.scaled_objective(instance) == pytest.approx(8.25)
+        assert result.configuration == personalized_configuration(instance)
+
+    def test_group_matches_table9(self, instance):
+        result = run_group(instance)
+        assert result.scaled_objective(instance) == pytest.approx(8.35)
+
+    def test_fmg_without_fairness_matches_group(self, instance):
+        result = run_fmg(instance, fairness_weight=0.0)
+        assert result.scaled_objective(instance) == pytest.approx(8.35)
+
+    def test_sdp_with_paper_partition_matches_table9(self, instance):
+        result = run_sdp(instance, communities=partition_indices(instance, FRIENDSHIP_PARTITION))
+        assert result.scaled_objective(instance) == pytest.approx(8.4)
+
+    def test_grf_with_paper_partition_matches_table9(self, instance):
+        result = run_grf(instance, clusters=partition_indices(instance, PREFERENCE_PARTITION))
+        assert result.scaled_objective(instance) == pytest.approx(8.7)
+
+    def test_avg_respects_approximation_guarantee(self, instance, fractional):
+        result = run_avg(instance, fractional, rng=123, repetitions=10)
+        assert result.configuration.is_valid(instance)
+        # Expected 4-approximation; with 10 repetitions the best run should be
+        # comfortably above OPT/2 on this tiny instance.
+        assert result.scaled_objective(instance) >= 10.35 / 2.0
+
+    def test_avg_beats_all_static_baselines(self, instance, fractional):
+        result = run_avg(instance, fractional, rng=7, repetitions=20)
+        assert result.scaled_objective(instance) > 8.7
+
+    def test_avg_d_with_large_r_finds_optimum(self, instance, fractional):
+        result = run_avg_d(instance, fractional, balancing_ratio=1.0)
+        assert result.scaled_objective(instance) == pytest.approx(10.35)
+
+    def test_avg_d_with_theoretical_r_respects_guarantee(self, instance, fractional):
+        result = run_avg_d(instance, fractional, balancing_ratio=0.25)
+        assert result.scaled_objective(instance) >= 10.35 / 4.0
+        assert result.configuration.is_valid(instance)
+
+    def test_avg_d_is_deterministic(self, instance, fractional):
+        first = run_avg_d(instance, fractional, balancing_ratio=0.7)
+        second = run_avg_d(instance, fractional, balancing_ratio=0.7)
+        assert first.configuration == second.configuration
+
+    def test_example2_lambda_04_weights(self):
+        instance = paper_example_instance(social_weight=0.4)
+        assert instance.social_weight == pytest.approx(0.4)
+        # Scaled preference factor (1-λ)/λ = 1.5
+        assert instance.scaled_preference[0, 0] == pytest.approx(1.5 * 0.8)

@@ -1,0 +1,223 @@
+"""Unit tests for the SVGIC / SVGIC-ST problem model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+
+
+def make_basic(**overrides):
+    """Helper building a small valid instance with optional field overrides."""
+    fields = dict(
+        num_users=3,
+        num_items=4,
+        num_slots=2,
+        social_weight=0.5,
+        preference=np.ones((3, 4)) * 0.5,
+        edges=np.array([[0, 1], [1, 0], [1, 2]]),
+        social=np.ones((3, 4)) * 0.2,
+    )
+    fields.update(overrides)
+    return SVGICInstance(**fields)
+
+
+class TestInstanceValidation:
+    def test_valid_instance_builds(self):
+        instance = make_basic()
+        assert instance.num_users == 3
+        assert instance.num_edges == 3
+
+    def test_rejects_more_slots_than_items(self):
+        with pytest.raises(ValueError, match="num_slots"):
+            make_basic(num_slots=5)
+
+    def test_rejects_negative_preference(self):
+        preference = np.ones((3, 4))
+        preference[0, 0] = -0.1
+        with pytest.raises(ValueError, match="negative"):
+            make_basic(preference=preference)
+
+    def test_rejects_preference_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            make_basic(preference=np.ones((3, 5)))
+
+    def test_rejects_social_shape_mismatch(self):
+        with pytest.raises(ValueError, match="social"):
+            make_basic(social=np.ones((2, 4)) * 0.2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            make_basic(edges=np.array([[0, 0], [0, 1], [1, 2]]))
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_basic(edges=np.array([[0, 5], [1, 0], [1, 2]]))
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ValueError):
+            make_basic(social_weight=1.5)
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            make_basic(num_users=0, preference=np.ones((0, 4)),
+                       edges=np.empty((0, 2)), social=np.empty((0, 4)))
+
+    def test_rejects_wrong_label_counts(self):
+        with pytest.raises(ValueError, match="user_labels"):
+            make_basic(user_labels=("a", "b"))
+        with pytest.raises(ValueError, match="item_labels"):
+            make_basic(item_labels=("x",))
+
+    def test_empty_social_network_allowed(self):
+        instance = make_basic(edges=np.empty((0, 2)), social=np.empty((0, 4)))
+        assert instance.num_edges == 0
+        assert instance.pairs.shape == (0, 2)
+
+
+class TestDerivedStructures:
+    def test_pairs_are_undirected_and_unique(self):
+        instance = make_basic()
+        pairs = instance.pairs
+        assert pairs.shape == (2, 2)  # (0,1) and (1,2)
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+
+    def test_pair_social_sums_both_directions(self, tiny_instance):
+        # pair (0,1): edges (0,1) and (1,0) both present with social rows 0 and 1.
+        pid = tiny_instance.pair_index[(0, 1)]
+        expected = tiny_instance.social[0] + tiny_instance.social[1]
+        np.testing.assert_allclose(tiny_instance.pair_social[pid], expected)
+
+    def test_pair_social_single_direction_edge(self):
+        instance = make_basic()  # edge (1,2) exists only one way
+        pid = instance.pair_index[(1, 2)]
+        np.testing.assert_allclose(instance.pair_social[pid], instance.social[2])
+
+    def test_neighbors_symmetric(self, tiny_instance):
+        assert 1 in tiny_instance.neighbors[0]
+        assert 0 in tiny_instance.neighbors[1]
+        assert 2 in tiny_instance.neighbors[1]
+        assert 1 in tiny_instance.neighbors[2]
+        assert 2 not in tiny_instance.neighbors[0]
+
+    def test_pair_ids_by_user(self, tiny_instance):
+        for user in range(tiny_instance.num_users):
+            for pid in tiny_instance.pair_ids_by_user[user]:
+                assert user in tiny_instance.pairs[pid]
+
+    def test_graph_matches_edges(self, tiny_instance):
+        graph = tiny_instance.graph
+        assert graph.number_of_nodes() == tiny_instance.num_users
+        assert graph.number_of_edges() == tiny_instance.num_edges
+
+    def test_undirected_graph_edge_count(self, tiny_instance):
+        assert tiny_instance.undirected_graph.number_of_edges() == tiny_instance.pairs.shape[0]
+
+
+class TestScaling:
+    def test_scaled_preference_factor(self):
+        instance = make_basic(social_weight=0.4)
+        np.testing.assert_allclose(
+            instance.scaled_preference, instance.preference * (0.6 / 0.4)
+        )
+
+    def test_scaled_preference_lambda_half_is_identity(self):
+        instance = make_basic(social_weight=0.5)
+        np.testing.assert_allclose(instance.scaled_preference, instance.preference)
+
+    def test_scaled_preference_rejects_lambda_zero(self):
+        instance = make_basic(social_weight=0.0)
+        with pytest.raises(ValueError):
+            _ = instance.scaled_preference
+
+    def test_objective_scale_roundtrip(self):
+        instance = make_basic(social_weight=0.3)
+        value = 7.5
+        assert instance.scaled_to_true_objective(
+            instance.true_to_scaled_objective(value)
+        ) == pytest.approx(value)
+
+
+class TestDerivedInstances:
+    def test_with_social_weight(self):
+        instance = make_basic()
+        other = instance.with_social_weight(0.25)
+        assert other.social_weight == 0.25
+        assert instance.social_weight == 0.5  # original untouched
+
+    def test_with_num_slots(self):
+        other = make_basic().with_num_slots(3)
+        assert other.num_slots == 3
+
+    def test_restrict_items(self):
+        instance = make_basic()
+        restricted, mapping = instance.restrict_items([1, 3])
+        assert restricted.num_items == 2
+        np.testing.assert_array_equal(mapping, [1, 3])
+        np.testing.assert_allclose(restricted.preference, instance.preference[:, [1, 3]])
+
+    def test_restrict_items_too_few(self):
+        with pytest.raises(ValueError):
+            make_basic().restrict_items([0])
+
+    def test_subgroup_instance(self):
+        instance = make_basic()
+        sub, mapping = instance.subgroup_instance([0, 1])
+        assert sub.num_users == 2
+        np.testing.assert_array_equal(mapping, [0, 1])
+        # Only the edges internal to {0, 1} survive.
+        assert sub.num_edges == 2
+
+    def test_subgroup_instance_no_internal_edges(self):
+        instance = make_basic()
+        sub, _ = instance.subgroup_instance([0, 2])
+        assert sub.num_edges == 0
+
+    def test_subgroup_instance_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_basic().subgroup_instance([])
+
+
+class TestFromDicts:
+    def test_from_dicts_builds_labels(self):
+        instance = SVGICInstance.from_dicts(
+            num_slots=1,
+            social_weight=0.5,
+            preference={("u", "a"): 0.5, ("v", "b"): 0.7},
+            social={("u", "v", "a"): 0.2},
+        )
+        assert instance.user_labels == ("u", "v")
+        assert instance.item_labels == ("a", "b")
+        assert instance.preference[0, 0] == pytest.approx(0.5)
+        assert instance.social[0, 0] == pytest.approx(0.2)
+
+    def test_from_dicts_respects_order(self, paper_instance):
+        assert paper_instance.user_labels == ("Alice", "Bob", "Charlie", "Dave")
+        assert paper_instance.item_labels == ("c1", "c2", "c3", "c4", "c5")
+        assert paper_instance.num_edges == 8
+
+
+class TestSTInstance:
+    def test_valid_st_instance(self):
+        base = make_basic()
+        st = SVGICSTInstance.from_instance(base, teleport_discount=0.4, max_subgroup_size=2)
+        assert st.teleport_discount == 0.4
+        assert st.max_subgroup_size == 2
+        assert st.base_instance.num_users == base.num_users
+
+    def test_rejects_discount_one(self):
+        with pytest.raises(ValueError):
+            SVGICSTInstance.from_instance(make_basic(), teleport_discount=1.0)
+
+    def test_rejects_infeasible_size_cap(self):
+        # 1 user per subgroup x 4 items < ... need max_size * m >= n: 4 >= 3 ok; use m small
+        base = make_basic()
+        restricted, _ = base.restrict_items([0, 1])
+        with pytest.raises(ValueError, match="infeasible"):
+            SVGICSTInstance.from_instance(restricted, max_subgroup_size=1).num_users  # noqa: B018
+            # construction itself raises; the attribute access silences linters
+
+    def test_base_instance_is_plain_svgic(self):
+        st = SVGICSTInstance.from_instance(make_basic())
+        assert type(st.base_instance) is SVGICInstance

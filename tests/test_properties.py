@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) for the core invariants of the library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.avg import csf_rounding, run_avg
+from repro.core.avg_d import run_avg_d
+from repro.core.configuration import SAVGConfiguration
+from repro.core.greedy import greedy_complete, top_k_preference_configuration
+from repro.core.lp import solve_lp_relaxation
+from repro.core.objective import evaluate, per_user_utility, total_utility
+from repro.core.problem import SVGICInstance
+from repro.metrics.regret import regret_ratios
+from repro.metrics.subgroups import subgroup_metrics
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def svgic_instances(draw):
+    """Random small SVGIC instances with arbitrary utilities and edge sets."""
+    num_users = draw(st.integers(min_value=2, max_value=5))
+    num_items = draw(st.integers(min_value=3, max_value=7))
+    num_slots = draw(st.integers(min_value=1, max_value=min(3, num_items)))
+    social_weight = draw(st.sampled_from([0.25, 0.5, 0.75]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    preference = rng.uniform(0.0, 1.0, size=(num_users, num_items))
+    density = draw(st.sampled_from([0.0, 0.3, 0.7]))
+    edges = [
+        (u, v)
+        for u in range(num_users)
+        for v in range(num_users)
+        if u != v and rng.random() < density
+    ]
+    edges = np.asarray(edges, dtype=np.int64) if edges else np.empty((0, 2), dtype=np.int64)
+    social = rng.uniform(0.0, 0.6, size=(edges.shape[0], num_items))
+    return SVGICInstance(
+        num_users=num_users,
+        num_items=num_items,
+        num_slots=num_slots,
+        social_weight=social_weight,
+        preference=preference,
+        edges=edges,
+        social=social,
+        name="hypothesis",
+    )
+
+
+@st.composite
+def instances_with_configs(draw):
+    """A random instance paired with a random valid configuration."""
+    instance = draw(svgic_instances())
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    assignment = np.stack(
+        [
+            rng.permutation(instance.num_items)[: instance.num_slots]
+            for _ in range(instance.num_users)
+        ]
+    )
+    config = SAVGConfiguration(assignment=assignment, num_items=instance.num_items)
+    return instance, config
+
+
+class TestInstanceInvariants:
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_pair_social_is_symmetric_aggregate(self, instance):
+        # Total pair social mass equals total directed social mass.
+        assert instance.pair_social.sum() == pytest.approx(instance.social.sum())
+
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_scaled_objective_roundtrip(self, instance):
+        if instance.social_weight == 0:
+            return
+        value = float(np.sum(instance.preference))
+        assert instance.scaled_to_true_objective(
+            instance.true_to_scaled_objective(value)
+        ) == pytest.approx(value)
+
+
+class TestConfigurationInvariants:
+    @settings(**SETTINGS)
+    @given(instances_with_configs())
+    def test_random_permutation_configs_are_valid(self, pair):
+        instance, config = pair
+        assert config.is_valid(instance)
+
+    @settings(**SETTINGS)
+    @given(instances_with_configs())
+    def test_per_user_utilities_sum_to_total(self, pair):
+        instance, config = pair
+        assert per_user_utility(instance, config).sum() == pytest.approx(
+            total_utility(instance, config)
+        )
+
+    @settings(**SETTINGS)
+    @given(instances_with_configs())
+    def test_breakdown_components_non_negative(self, pair):
+        instance, config = pair
+        breakdown = evaluate(instance, config)
+        assert breakdown.preference >= -1e-12
+        assert breakdown.social >= -1e-12
+
+    @settings(**SETTINGS)
+    @given(instances_with_configs())
+    def test_subgroup_metric_ranges(self, pair):
+        instance, config = pair
+        metrics = subgroup_metrics(instance, config)
+        assert 0.0 <= metrics.co_display_ratio <= 1.0
+        assert 0.0 <= metrics.alone_ratio <= 1.0
+        assert 0.0 - 1e-12 <= metrics.intra_edge_ratio + metrics.inter_edge_ratio <= 1.0 + 1e-12
+
+    @settings(**SETTINGS)
+    @given(instances_with_configs())
+    def test_regret_ratios_within_unit_interval(self, pair):
+        instance, config = pair
+        regrets = regret_ratios(instance, config)
+        assert np.all(regrets >= -1e-12)
+        assert np.all(regrets <= 1.0 + 1e-12)
+
+
+class TestGreedyInvariants:
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_top_k_configuration_valid(self, instance):
+        config = top_k_preference_configuration(instance)
+        assert config.is_valid(instance)
+
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_top_k_maximizes_preference_part(self, instance):
+        config = top_k_preference_configuration(instance)
+        greedy_value = evaluate(instance, config).preference
+        rng = np.random.default_rng(0)
+        assignment = np.stack(
+            [
+                rng.permutation(instance.num_items)[: instance.num_slots]
+                for _ in range(instance.num_users)
+            ]
+        )
+        random_config = SAVGConfiguration(assignment=assignment, num_items=instance.num_items)
+        assert greedy_value >= evaluate(instance, random_config).preference - 1e-9
+
+    @settings(**SETTINGS)
+    @given(svgic_instances(), st.integers(min_value=0, max_value=10))
+    def test_greedy_complete_always_valid(self, instance, seed):
+        rng = np.random.default_rng(seed)
+        config = SAVGConfiguration.for_instance(instance)
+        # Pre-assign a random subset of units without duplicates.
+        for user in range(instance.num_users):
+            items = rng.permutation(instance.num_items)
+            cursor = 0
+            for slot in range(instance.num_slots):
+                if rng.random() < 0.5:
+                    config.assignment[user, slot] = items[cursor]
+                    cursor += 1
+        greedy_complete(instance, config)
+        assert config.is_valid(instance)
+
+
+class TestAlgorithmInvariants:
+    @settings(**SETTINGS)
+    @given(svgic_instances(), st.integers(min_value=0, max_value=1000))
+    def test_avg_always_returns_valid_configuration(self, instance, seed):
+        result = run_avg(instance, rng=seed, prune_items=False)
+        assert result.configuration.is_valid(instance)
+
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_avg_d_objective_at_least_quarter_of_lp(self, instance):
+        if instance.social_weight == 0:
+            return
+        fractional = solve_lp_relaxation(instance, prune_items=False)
+        result = run_avg_d(instance, fractional, balancing_ratio=0.25)
+        assert result.objective >= fractional.objective / 4.0 - 1e-9
+
+    @settings(**SETTINGS)
+    @given(svgic_instances(), st.integers(min_value=0, max_value=1000))
+    def test_csf_objective_never_exceeds_lp_bound(self, instance, seed):
+        fractional = solve_lp_relaxation(instance, prune_items=False)
+        config, _ = csf_rounding(instance, fractional, rng=seed)
+        assert total_utility(instance, config) <= fractional.objective + 1e-6
+
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_lp_row_sums_equal_k(self, instance):
+        fractional = solve_lp_relaxation(instance, prune_items=False)
+        np.testing.assert_allclose(
+            fractional.compact_factors.sum(axis=1), instance.num_slots, atol=1e-5
+        )

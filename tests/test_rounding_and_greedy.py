@@ -1,0 +1,104 @@
+"""Tests for the trivial independent rounding scheme and the greedy helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.greedy import greedy_complete, top_k_preference_configuration
+from repro.core.lp import solve_lp_relaxation
+from repro.core.rounding import independent_rounding, run_independent_rounding
+from repro.data import adversarial
+from repro.data.example_paper import paper_example_instance
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return paper_example_instance()
+
+
+@pytest.fixture(scope="module")
+def fractional(instance):
+    return solve_lp_relaxation(instance, prune_items=False)
+
+
+class TestIndependentRounding:
+    def test_repair_yields_valid_configuration(self, instance, fractional):
+        outcome = independent_rounding(instance, fractional, rng=0, repair=True)
+        assert outcome.configuration.is_valid(instance)
+
+    def test_without_repair_configuration_complete(self, instance, fractional):
+        outcome = independent_rounding(instance, fractional, rng=0, repair=False)
+        assert outcome.configuration.is_complete()
+
+    def test_violations_counted_on_degenerate_lp(self):
+        """On the indifferent instance x* = 1/m everywhere: duplicates are common."""
+        instance = adversarial.indifferent_instance(4, 3, num_slots=3)
+        fractional = solve_lp_relaxation(instance, prune_items=False)
+        total_violations = 0
+        for seed in range(10):
+            outcome = independent_rounding(instance, fractional, rng=seed, repair=False)
+            total_violations += outcome.duplication_violations
+        assert total_violations > 0
+
+    def test_run_wrapper_reports_info(self, instance, fractional):
+        result = run_independent_rounding(instance, fractional, rng=1)
+        assert result.algorithm == "IND"
+        assert "duplication_violations" in result.info
+        assert result.configuration.is_valid(instance)
+
+    def test_lemma3_gap_against_csf(self):
+        """Independent rounding loses most of the social utility relative to CSF (Lemma 3)."""
+        from repro.core.avg import run_avg
+
+        instance = adversarial.indifferent_instance(6, 12, num_slots=2)
+        fractional = solve_lp_relaxation(instance, prune_items=False)
+        independent_values = [
+            run_independent_rounding(instance, fractional, rng=seed).objective
+            for seed in range(5)
+        ]
+        csf_values = [
+            run_avg(instance, fractional, rng=seed).objective for seed in range(5)
+        ]
+        assert np.mean(csf_values) > 2.0 * np.mean(independent_values)
+
+
+class TestGreedyHelpers:
+    def test_top_k_orders_by_preference(self, instance):
+        config = top_k_preference_configuration(instance)
+        # Alice's top three: c5 (1.0), c2 (0.85), c1 (0.8)
+        assert list(config.assignment[0]) == [4, 1, 0]
+        assert config.is_valid(instance)
+
+    def test_top_k_breaks_ties_deterministically(self):
+        from repro.core.problem import SVGICInstance
+
+        instance = SVGICInstance(
+            num_users=1, num_items=3, num_slots=2, social_weight=0.5,
+            preference=np.array([[0.5, 0.5, 0.5]]),
+            edges=np.empty((0, 2)), social=np.empty((0, 3)),
+        )
+        config = top_k_preference_configuration(instance)
+        assert list(config.assignment[0]) == [0, 1]
+
+    def test_greedy_complete_fills_all_units(self, instance):
+        config = SAVGConfiguration.for_instance(instance)
+        config.assign(0, 0, 4)
+        greedy_complete(instance, config)
+        assert config.is_valid(instance)
+        assert config.assignment[0, 0] == 4  # existing assignment untouched
+
+    def test_greedy_complete_prefers_best_unused(self, instance):
+        config = SAVGConfiguration.for_instance(instance)
+        config.assign(0, 0, 4)  # Alice already sees c5
+        greedy_complete(instance, config)
+        # Next best unused for Alice are c2 then c1.
+        assert config.assignment[0, 1] == 1
+        assert config.assignment[0, 2] == 0
+
+    def test_greedy_complete_noop_on_complete_config(self, instance):
+        config = top_k_preference_configuration(instance)
+        snapshot = config.assignment.copy()
+        greedy_complete(instance, config)
+        np.testing.assert_array_equal(config.assignment, snapshot)

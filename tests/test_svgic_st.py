@@ -1,0 +1,73 @@
+"""Tests for the SVGIC-ST helpers (feasibility, co-display accounting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import SAVGConfiguration
+from repro.core.problem import SVGICSTInstance
+from repro.core.svgic_st import (
+    co_display_events,
+    is_feasible,
+    size_violation_report,
+    subgroup_size_histogram,
+)
+from repro.data.example_paper import group_configuration, optimal_configuration, paper_example_instance
+
+
+@pytest.fixture(scope="module")
+def st_instance():
+    return SVGICSTInstance.from_instance(
+        paper_example_instance(), teleport_discount=0.5, max_subgroup_size=3
+    )
+
+
+class TestSizeViolations:
+    def test_group_configuration_violates_cap_of_three(self, st_instance):
+        report = size_violation_report(st_instance, group_configuration(st_instance))
+        assert not report.feasible
+        assert report.largest_subgroup == 4
+        assert report.oversized_subgroups == 3  # one oversized subgroup per slot
+        assert report.excess_users == 3
+
+    def test_optimal_configuration_feasible_under_cap_three(self, st_instance):
+        report = size_violation_report(st_instance, optimal_configuration(st_instance))
+        assert report.feasible
+        assert report.excess_users == 0
+
+    def test_is_feasible_requires_valid_configuration(self, st_instance):
+        incomplete = SAVGConfiguration.for_instance(st_instance)
+        assert not is_feasible(st_instance, incomplete)
+
+    def test_is_feasible_true_case(self, st_instance):
+        assert is_feasible(st_instance, optimal_configuration(st_instance))
+
+
+class TestCoDisplayEvents:
+    def test_events_partition_shared_items(self, st_instance):
+        config = optimal_configuration(st_instance)
+        direct, indirect = co_display_events(st_instance, config)
+        assert direct  # the SAVG configuration has plenty of shared views
+        for u, v, item in direct:
+            assert config.co_displayed(u, v, item)
+        for u, v, item in indirect:
+            assert config.indirectly_co_displayed(u, v, item)
+
+    def test_no_overlap_between_direct_and_indirect(self, st_instance):
+        config = optimal_configuration(st_instance)
+        direct, indirect = co_display_events(st_instance, config)
+        assert set(direct).isdisjoint(set(indirect))
+
+
+class TestHistogram:
+    def test_histogram_counts_match_subgroups(self, st_instance):
+        config = group_configuration(st_instance)
+        histogram = subgroup_size_histogram(config)
+        assert histogram == {4: 3}
+
+    def test_histogram_total_equals_display_units(self, st_instance):
+        config = optimal_configuration(st_instance)
+        histogram = subgroup_size_histogram(config)
+        total_users = sum(size * count for size, count in histogram.items())
+        assert total_users == st_instance.num_users * st_instance.num_slots
