@@ -35,12 +35,14 @@ def _group_item_values(instance: SVGICInstance, members: Sequence[int]) -> np.nd
     ``value[c] = (1-λ) Σ_{u in members} p(u,c) + λ Σ_{(u,v) in E, u,v in members} τ(u,v,c)``.
     """
     lam = instance.social_weight
-    member_set = set(int(u) for u in members)
-    values = (1.0 - lam) * instance.preference[sorted(member_set)].sum(axis=0)
-    for e in range(instance.num_edges):
-        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
-        if u in member_set and v in member_set:
-            values = values + lam * instance.social[e]
+    member_ids = np.asarray(sorted(set(int(u) for u in members)), dtype=np.int64)
+    values = (1.0 - lam) * instance.preference[member_ids].sum(axis=0)
+    if instance.num_edges:
+        inside = np.zeros(instance.num_users, dtype=bool)
+        inside[member_ids] = True
+        edge_mask = inside[instance.edges[:, 0]] & inside[instance.edges[:, 1]]
+        if np.any(edge_mask):
+            values = values + lam * instance.social[edge_mask].sum(axis=0)
     return values
 
 
@@ -61,39 +63,30 @@ def select_group_itemset(
     """
     k = num_items if num_items is not None else instance.num_slots
     lam = instance.social_weight
-    members = [int(u) for u in members]
-    base_values = _group_item_values(instance, members)
+    # Duplicate user ids carry no meaning for a group selection; dedup up
+    # front so the fairness bookkeeping matches _group_item_values.
+    member_ids = np.asarray(sorted(set(int(u) for u in members)), dtype=np.int64)
+    base_values = _group_item_values(instance, member_ids)
 
-    # Per-user top-k items (used only by the fairness reweighting).
-    top_items = {
-        u: set(np.argsort(-instance.preference[u])[: instance.num_slots].tolist())
-        for u in members
-    }
-    covered = {u: 0 for u in members}
+    # Per-user top-k membership matrix (used only by the fairness reweighting).
+    top_orders = np.argsort(-instance.preference[member_ids], axis=1)[:, : instance.num_slots]
+    in_top_k = np.zeros((member_ids.size, instance.num_items), dtype=bool)
+    np.put_along_axis(in_top_k, top_orders, True, axis=1)
+    covered = np.zeros(member_ids.size, dtype=float)
+    member_preference = instance.preference[member_ids]  # (|members|, m)
 
     selected: List[int] = []
-    available = set(range(instance.num_items))
+    available = np.ones(instance.num_items, dtype=bool)
     for _ in range(k):
-        best_item, best_score = -1, -np.inf
-        for item in available:
-            score = base_values[item]
-            if fairness_weight > 0:
-                boost = 0.0
-                for u in members:
-                    boost += (
-                        (1.0 - lam)
-                        * instance.preference[u, item]
-                        * fairness_weight
-                        / (1.0 + covered[u])
-                    )
-                score = score + boost
-            if score > best_score:
-                best_score, best_item = score, item
+        scores = base_values.astype(float)
+        if fairness_weight > 0:
+            per_user_weight = fairness_weight / (1.0 + covered)
+            scores += (1.0 - lam) * per_user_weight @ member_preference
+        scores[~available] = -np.inf
+        best_item = int(np.argmax(scores))
         selected.append(best_item)
-        available.discard(best_item)
-        for u in members:
-            if best_item in top_items[u]:
-                covered[u] += 1
+        available[best_item] = False
+        covered += in_top_k[:, best_item]
 
     # Slot order: decreasing unweighted group value (slot 1 shows the best item).
     selected.sort(key=lambda c: -base_values[c])

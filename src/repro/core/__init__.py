@@ -1,17 +1,46 @@
 """Core SVGIC machinery: problem model, objectives, LP/IP formulations and the AVG family.
 
-This package contains the paper's primary contribution:
-
-* the problem model (:class:`~repro.core.problem.SVGICInstance`,
-  :class:`~repro.core.problem.SVGICSTInstance`,
-  :class:`~repro.core.configuration.SAVGConfiguration`);
-* objective evaluation (:mod:`repro.core.objective`);
-* the exact integer program (:mod:`repro.core.ip`), the LP relaxations
-  (:mod:`repro.core.lp`) and the trivial independent-rounding baseline
-  (:mod:`repro.core.rounding`);
-* the AVG randomized 4-approximation (:mod:`repro.core.avg`) and its
-  deterministic counterpart AVG-D (:mod:`repro.core.avg_d`);
-* SVGIC-ST helpers (:mod:`repro.core.svgic_st`).
+Module map
+----------
+``problem``
+    Immutable problem instances: :class:`~repro.core.problem.SVGICInstance`
+    (users, items, slots, ``(n, m)`` preference matrix, directed edge list
+    with an ``(|E|, m)`` social matrix) and the SVGIC-ST extension
+    :class:`~repro.core.problem.SVGICSTInstance` (teleportation discount,
+    subgroup-size cap).  Cached pair/neighbour structures live here.
+``configuration``
+    :class:`~repro.core.configuration.SAVGConfiguration` — the ``(n, k)``
+    assignment array (``UNASSIGNED`` marks unfilled display units) plus
+    structural queries (subgroups, co-display predicates).
+``objective``
+    The **vectorized evaluation engine**: total/scaled utility,
+    :class:`~repro.core.objective.UtilityBreakdown` and the SVGIC-ST
+    teleportation variant computed with dense NumPy tensor ops, plus
+    :class:`~repro.core.objective.DeltaEvaluator` for ``O(degree)``
+    incremental re-evaluation after single-cell changes.  This is the
+    central API every solver, baseline, metric and benchmark consumes.
+``objective_reference``
+    The original scalar (per-user/per-slot/per-edge loop) evaluation,
+    demoted to a test oracle.  Property tests pin the engine to it within
+    1e-9; do not call it from production code.
+``lp`` / ``ip``
+    The LP relaxations (compact ``LP_SIMP`` and full form) and the exact
+    integer program solved with HiGHS MILP or the in-repo branch and bound.
+``rounding``
+    Independent rounding of the LP solution (Algorithm 1) — the analysable
+    negative baseline of Lemma 3.
+``avg`` / ``avg_d``
+    The randomized 4-approximation AVG (Co-display Subgroup Formation) and
+    its deterministic counterpart AVG-D, both with the Section-4.4
+    efficiency enhancements and SVGIC-ST size-cap support.
+``greedy``
+    Per-user top-k selection (λ=0 optimum, PER baseline) and the greedy
+    completion safety net.
+``svgic_st``
+    Feasibility checking and co-display accounting for the size constraint.
+``result``
+    :class:`~repro.core.result.AlgorithmResult` — the uniform return type of
+    every algorithm.
 """
 
 from repro.core.avg import csf_rounding, run_avg
@@ -21,6 +50,7 @@ from repro.core.greedy import greedy_complete, top_k_preference_configuration
 from repro.core.ip import solve_exact
 from repro.core.lp import FractionalSolution, candidate_items, solve_lp_relaxation
 from repro.core.objective import (
+    DeltaEvaluator,
     UtilityBreakdown,
     evaluate,
     evaluate_st,
@@ -41,6 +71,7 @@ __all__ = [
     "UNASSIGNED",
     "AlgorithmResult",
     "UtilityBreakdown",
+    "DeltaEvaluator",
     "evaluate",
     "evaluate_st",
     "total_utility",

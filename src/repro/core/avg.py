@@ -82,6 +82,21 @@ class _RoundingState:
         return bool(np.all(self.unfilled_per_user == 0))
 
 
+def _ranked_users(values: np.ndarray) -> List[Tuple[float, int]]:
+    """Users with positive LP mass as ``(value, user)`` pairs, decreasing.
+
+    Ties are ordered by decreasing user id, matching the tuple comparison the
+    previous ``sorted(..., reverse=True)`` implementation performed, so
+    seeded rounding outcomes are unchanged.
+    """
+    users = np.nonzero(values > 1e-12)[0]
+    if users.size == 0:
+        return []
+    order = np.lexsort((-users, -values[users]))
+    selected = users[order]
+    return list(zip(values[selected].tolist(), selected.tolist()))
+
+
 def _sorted_user_lists(
     instance: SVGICInstance, fractional: FractionalSolution
 ) -> Dict[Tuple[int, int], List[Tuple[float, int]]]:
@@ -94,20 +109,14 @@ def _sorted_user_lists(
     for item in positive_items:
         item = int(item)
         if slot_independent:
-            values = compact[:, item] / k
-            users = np.nonzero(values > 1e-12)[0]
-            ranked = sorted(((float(values[u]), int(u)) for u in users), reverse=True)
+            ranked = _ranked_users(compact[:, item] / k)
             for slot in range(k):
                 lists[(item, slot)] = ranked
         else:
             for slot in range(k):
-                values = fractional.slot_factors[:, item, slot]
-                users = np.nonzero(values > 1e-12)[0]
-                if users.size == 0:
-                    continue
-                lists[(item, slot)] = sorted(
-                    ((float(values[u]), int(u)) for u in users), reverse=True
-                )
+                ranked = _ranked_users(fractional.slot_factors[:, item, slot])
+                if ranked:
+                    lists[(item, slot)] = ranked
     return lists
 
 

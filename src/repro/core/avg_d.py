@@ -83,9 +83,10 @@ class _DeterministicRounder:
 
         self.opt_cur = float(self.unit_mass.sum() + self.pair_mass.sum())
 
-        # Mutable configuration state.
+        # Mutable configuration state.  ``items_used`` is a dense boolean
+        # mask so eligibility checks vectorize over all users at once.
         self.config = SAVGConfiguration.for_instance(instance)
-        self.items_used: List[set] = [set() for _ in range(n)]
+        self.items_used = np.zeros((n, m), dtype=bool)
         self.remaining_units = n * k
         self.size_limit = (
             instance.max_subgroup_size if isinstance(instance, SVGICSTInstance) else None
@@ -114,12 +115,10 @@ class _DeterministicRounder:
     def slot_open(self, user: int, slot: int) -> bool:
         return self.config.assignment[user, slot] == UNASSIGNED
 
-    def eligible_users(self, item: int, slot: int) -> List[int]:
-        return [
-            u
-            for u in range(self.instance.num_users)
-            if self.slot_open(u, slot) and item not in self.items_used[u]
-        ]
+    def eligible_users(self, item: int, slot: int) -> np.ndarray:
+        """Users with ``slot`` open and ``item`` not yet shown to them (one mask op)."""
+        open_slots = self.config.assignment[:, slot] == UNASSIGNED
+        return np.nonzero(open_slots & ~self.items_used[:, item])[0]
 
     # ------------------------------------------------------------------ #
     def best_candidate(self) -> Optional[Tuple[float, int, int, List[int]]]:
@@ -137,9 +136,16 @@ class _DeterministicRounder:
                     if capacity <= 0:
                         continue
                 eligible = self.eligible_users(item, slot)
-                if not eligible:
+                if eligible.size == 0:
                     continue
-                ranked = sorted(eligible, key=lambda u: -self.factor(u, item, slot))
+                factors = (
+                    self.x2[eligible, item]
+                    if self.slot_independent
+                    else self.x3[eligible, item, slot]
+                )
+                # Stable descending sort keeps ties in ascending user order,
+                # matching the previous ``sorted(..., key=-factor)``.
+                ranked = eligible[np.argsort(-factors, kind="stable")].tolist()
                 candidate = self._scan_prefixes(item, slot, ranked, capacity)
                 if candidate is not None and (best is None or candidate[0] > best[0]):
                     best = candidate
@@ -200,7 +206,7 @@ class _DeterministicRounder:
         """Co-display ``item`` at ``slot`` to ``members`` and update the running LP mass."""
         for user in members:
             self.config.assignment[user, slot] = item
-            self.items_used[user].add(item)
+            self.items_used[user, item] = True
             self.remaining_units -= 1
             # The display unit (user, slot) leaves S_cur.
             self.opt_cur -= float(self.unit_mass[user, slot])

@@ -22,12 +22,11 @@ def top_k_preference_configuration(instance: SVGICInstance) -> SAVGConfiguration
 
     Ties are broken by item index (deterministic).
     """
-    n, k = instance.num_users, instance.num_slots
     config = SAVGConfiguration.for_instance(instance)
-    for user in range(n):
-        # Stable sort on (-preference, item index) for deterministic output.
-        order = np.lexsort((np.arange(instance.num_items), -instance.preference[user]))
-        config.assignment[user, :] = order[:k]
+    # Stable sort on -preference keeps ties in item-index order; one argsort
+    # over the whole (n, m) matrix replaces the former per-user loop.
+    order = np.argsort(-instance.preference, axis=1, kind="stable")
+    config.assignment[:, :] = order[:, : instance.num_slots]
     return config
 
 
@@ -50,12 +49,17 @@ def greedy_complete(
             for item, members in config.subgroups_at_slot(slot).items():
                 cell_counts[(item, slot)] = len(members)
 
-    for user in range(instance.num_users):
+    incomplete = np.nonzero(np.any(config.assignment == UNASSIGNED, axis=1))[0]
+    if incomplete.size == 0:
+        return config
+    # One stable argsort over the incomplete users' preference rows replaces
+    # the former per-user lexsort calls.
+    orders = np.argsort(-instance.preference[incomplete], axis=1, kind="stable")
+    for row_index, user in enumerate(incomplete):
+        user = int(user)
         row = config.assignment[user]
-        if not np.any(row == UNASSIGNED):
-            continue
         used = set(int(c) for c in row if c != UNASSIGNED)
-        order = np.lexsort((np.arange(instance.num_items), -instance.preference[user]))
+        order = orders[row_index]
         for slot in range(instance.num_slots):
             if row[slot] != UNASSIGNED:
                 continue

@@ -1,9 +1,22 @@
-"""Objective evaluation for SVGIC and SVGIC-ST configurations.
+"""Vectorized evaluation engine for the SVGIC and SVGIC-ST objectives.
 
 Implements the SAVG utility of Definition 3, the teleportation-aware variant
 of Definition 5, the scaled (lambda = 1/2) objective used throughout the AVG
 analysis (Section 4), and the weighted variants used by the practical
 extensions of Section 5 (commodity values and slot significance).
+
+Every quantity is computed with dense NumPy tensor operations over the
+``(n, m)`` preference matrix, the ``(|E|, m)`` social matrix and the
+``(n, k)`` assignment array — no per-user/per-slot/per-edge Python loops.
+The original scalar implementation survives as
+:mod:`repro.core.objective_reference`, demoted to a test oracle; the
+property tests in ``tests/test_objective_equivalence.py`` pin the two
+implementations together to 1e-9.
+
+For algorithms that repeatedly re-evaluate slightly different
+configurations, :class:`DeltaEvaluator` maintains the utility breakdown
+incrementally: changing a single ``(user, slot)`` cell costs
+``O(deg(user) * k)`` instead of a full ``O(nk + |E|k)`` re-evaluation.
 """
 
 from __future__ import annotations
@@ -53,31 +66,76 @@ class UtilityBreakdown:
         return (self.social + self.indirect_social) / total if total > 0 else 0.0
 
 
+# --------------------------------------------------------------------------- #
+# Vectorized building blocks
+# --------------------------------------------------------------------------- #
+def _masked_gather(matrix: np.ndarray, assignment: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell lookup ``matrix[row, assignment[row, s]]`` with UNASSIGNED masked out.
+
+    Returns ``(values, mask)`` of the assignment's shape; ``values`` is zero
+    where ``mask`` is False.
+    """
+    mask = assignment != UNASSIGNED
+    items = np.where(mask, assignment, 0)
+    values = np.take_along_axis(matrix, items, axis=1)
+    return np.where(mask, values, 0.0), mask
+
+
+def _edge_slot_matches(
+    instance: SVGICInstance, assignment: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Direct co-display structure over all edges at once.
+
+    Returns ``(same, items)`` of shape ``(|E|, k)``: ``same[e, s]`` is True
+    when both endpoints of edge ``e`` display the same (assigned) item at
+    slot ``s``, and ``items`` holds that item index (0 where ``same`` is
+    False, safe for gathering).
+    """
+    head = assignment[instance.edges[:, 0]]
+    tail = assignment[instance.edges[:, 1]]
+    same = (head == tail) & (head != UNASSIGNED)
+    return same, np.where(same, head, 0)
+
+
+def _membership_matrix(assignment: np.ndarray, num_items: int) -> np.ndarray:
+    """Boolean ``(n, m)`` matrix: user ``u`` is displayed item ``c`` at some slot."""
+    n, k = assignment.shape
+    member = np.zeros((n, num_items), dtype=bool)
+    mask = assignment != UNASSIGNED
+    rows = np.broadcast_to(np.arange(n)[:, None], (n, k))[mask]
+    member[rows, assignment[mask]] = True
+    return member
+
+
 def raw_preference_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
     """Unweighted ``sum_u sum_{c in A(u,.)} p(u, c)`` over assigned display units."""
-    total = 0.0
-    for user in range(instance.num_users):
-        for slot in range(instance.num_slots):
-            item = config.assignment[user, slot]
-            if item != UNASSIGNED:
-                total += float(instance.preference[user, int(item)])
-    return total
+    values, _ = _masked_gather(instance.preference, config.assignment)
+    return float(values.sum())
+
+
+def _raw_social_components(
+    instance: SVGICInstance, assignment: np.ndarray, *, with_indirect: bool
+) -> Tuple[float, float]:
+    """(direct, indirect) unweighted social totals, sharing one edge-gather pass."""
+    if instance.num_edges == 0:
+        return 0.0, 0.0
+    same, items = _edge_slot_matches(instance, assignment)
+    values = np.take_along_axis(instance.social, items, axis=1)
+    direct_total = float(values[same].sum())
+    if not with_indirect:
+        return direct_total, 0.0
+    member = _membership_matrix(assignment, instance.num_items)
+    both = member[instance.edges[:, 0]] & member[instance.edges[:, 1]]  # (E, m)
+    direct = np.zeros_like(both)
+    edge_rows = np.broadcast_to(np.arange(instance.num_edges)[:, None], same.shape)[same]
+    direct[edge_rows, items[same]] = True
+    return direct_total, float(instance.social[both & ~direct].sum())
 
 
 def raw_social_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
     """Unweighted ``sum tau(u, v, c)`` over directed edges with a direct co-display on ``c``."""
-    total = 0.0
-    assignment = config.assignment
-    for e in range(instance.num_edges):
-        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
-        # Direct co-display: identical item at an identical slot.
-        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
-        if not np.any(same):
-            continue
-        for slot in np.nonzero(same)[0]:
-            item = int(assignment[u, slot])
-            total += float(instance.social[e, item])
-    return total
+    direct, _ = _raw_social_components(instance, config.assignment, with_indirect=False)
+    return direct
 
 
 def raw_indirect_social_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
@@ -87,16 +145,8 @@ def raw_indirect_social_total(instance: SVGICInstance, config: SAVGConfiguration
     item, but at different slots.  The no-duplication constraint makes direct
     and indirect co-display mutually exclusive per (edge, item).
     """
-    total = 0.0
-    assignment = config.assignment
-    for e in range(instance.num_edges):
-        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
-        items_u = set(int(c) for c in assignment[u] if c != UNASSIGNED)
-        items_v = set(int(c) for c in assignment[v] if c != UNASSIGNED)
-        for item in items_u & items_v:
-            if not config.co_displayed(u, v, item):
-                total += float(instance.social[e, item])
-    return total
+    _, indirect = _raw_social_components(instance, config.assignment, with_indirect=True)
+    return indirect
 
 
 def evaluate(instance: SVGICInstance, config: SAVGConfiguration) -> UtilityBreakdown:
@@ -119,9 +169,12 @@ def evaluate_st(instance: SVGICSTInstance, config: SAVGConfiguration) -> Utility
     """
     lam = instance.social_weight
     preference = (1.0 - lam) * raw_preference_total(instance, config)
-    social = lam * raw_social_total(instance, config)
-    indirect = lam * instance.teleport_discount * raw_indirect_social_total(instance, config)
-    return UtilityBreakdown(preference=preference, social=social, indirect_social=indirect)
+    direct, indirect = _raw_social_components(instance, config.assignment, with_indirect=True)
+    return UtilityBreakdown(
+        preference=preference,
+        social=lam * direct,
+        indirect_social=lam * instance.teleport_discount * indirect,
+    )
 
 
 def total_utility(instance: SVGICInstance, config: SAVGConfiguration) -> float:
@@ -151,19 +204,13 @@ def per_user_utility(instance: SVGICInstance, config: SAVGConfiguration) -> np.n
     Definition 3.
     """
     lam = instance.social_weight
-    values = np.zeros(instance.num_users, dtype=float)
-    assignment = config.assignment
-    for user in range(instance.num_users):
-        for slot in range(instance.num_slots):
-            item = assignment[user, slot]
-            if item != UNASSIGNED:
-                values[user] += (1.0 - lam) * float(instance.preference[user, int(item)])
-    for e in range(instance.num_edges):
-        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
-        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
-        for slot in np.nonzero(same)[0]:
-            item = int(assignment[u, slot])
-            values[u] += lam * float(instance.social[e, item])
+    pref_values, _ = _masked_gather(instance.preference, config.assignment)
+    values = (1.0 - lam) * pref_values.sum(axis=1)
+    if instance.num_edges:
+        same, items = _edge_slot_matches(instance, config.assignment)
+        social_values = np.take_along_axis(instance.social, items, axis=1)
+        per_edge = np.where(same, social_values, 0.0).sum(axis=1)
+        np.add.at(values, instance.edges[:, 0], lam * per_edge)
     return values
 
 
@@ -177,9 +224,8 @@ def optimistic_user_upper_bound(instance: SVGICInstance) -> np.ndarray:
     """
     lam = instance.social_weight
     w_bar = (1.0 - lam) * instance.preference.copy()
-    for e in range(instance.num_edges):
-        u = int(instance.edges[e, 0])
-        w_bar[u] += lam * instance.social[e]
+    if instance.num_edges:
+        np.add.at(w_bar, instance.edges[:, 0], lam * instance.social)
     k = instance.num_slots
     # Sum of the k largest w_bar values per user.
     top_k = np.partition(w_bar, instance.num_items - k, axis=1)[:, instance.num_items - k:]
@@ -211,25 +257,17 @@ def weighted_total_utility(
     if gamma.shape != (k,):
         raise ValueError(f"slot_significance must have shape ({k},), got {gamma.shape}")
 
-    total = 0.0
     assignment = config.assignment
-    for user in range(instance.num_users):
-        for slot in range(k):
-            item = assignment[user, slot]
-            if item == UNASSIGNED:
-                continue
-            total += (
-                omega[int(item)]
-                * gamma[slot]
-                * (1.0 - lam)
-                * float(instance.preference[user, int(item)])
-            )
-    for e in range(instance.num_edges):
-        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
-        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
-        for slot in np.nonzero(same)[0]:
-            item = int(assignment[u, slot])
-            total += omega[item] * gamma[slot] * lam * float(instance.social[e, item])
+    pref_values, mask = _masked_gather(instance.preference, assignment)
+    # pref_values is already zero at unassigned cells, so the item weights
+    # need no extra masking.
+    cell_weights = omega[np.where(mask, assignment, 0)] * gamma[None, :]
+    total = (1.0 - lam) * float((cell_weights * pref_values).sum())
+    if instance.num_edges:
+        same, items = _edge_slot_matches(instance, assignment)
+        social_values = np.take_along_axis(instance.social, items, axis=1)
+        edge_weights = np.where(same, omega[items], 0.0) * gamma[None, :]
+        total += lam * float((edge_weights * social_values).sum())
     return total
 
 
@@ -247,8 +285,169 @@ def fractional_upper_bound_gap(
     return max(0.0, (lp_optimum - achieved) / lp_optimum)
 
 
+# --------------------------------------------------------------------------- #
+# Incremental evaluation
+# --------------------------------------------------------------------------- #
+class DeltaEvaluator:
+    """Incrementally maintained SAVG utility of a mutable configuration.
+
+    Wraps a (possibly partial) assignment and keeps the weighted utility
+    breakdown — preference, direct social and (for SVGIC-ST instances)
+    discounted indirect social — up to date as single ``(user, slot)`` cells
+    change.  One :meth:`set_cell` call costs ``O(deg(user) * k)``: only the
+    friend pairs of the mutated user and the two affected items need to be
+    reconciled, versus ``O(nk + |E|k)`` for a from-scratch evaluation.
+
+    The evaluator owns its assignment copy; mutate it only through
+    :meth:`set_cell` / :meth:`clear_cell`.  Duplicate items within a user's
+    row are tolerated (contributions follow the same semantics as the full
+    evaluation on such configurations), so intermediate states of local
+    search moves need no special casing.
+    """
+
+    def __init__(self, instance: SVGICInstance, config: Optional[SAVGConfiguration] = None) -> None:
+        self.instance = instance
+        self._is_st = isinstance(instance, SVGICSTInstance)
+        self._d_tel = instance.teleport_discount if self._is_st else 0.0
+        self._lam = instance.social_weight
+        if config is None:
+            config = SAVGConfiguration.for_instance(instance)
+        if config.assignment.shape != (instance.num_users, instance.num_slots):
+            raise ValueError(
+                f"configuration shape {config.assignment.shape} does not match instance "
+                f"({instance.num_users}, {instance.num_slots})"
+            )
+        self.assignment = config.assignment.copy()
+
+        # Pair structures (undirected, with both directed taus combined),
+        # flattened to per-user index arrays so one mutation touches its
+        # incident pairs with a handful of vectorized ops instead of a
+        # Python loop over the neighbourhood.
+        self._pair_social = instance.pair_social
+        pairs = instance.pairs
+        self._incident: list = []
+        for user in range(instance.num_users):
+            pids = np.asarray(instance.pair_ids_by_user[user], dtype=np.int64)
+            if pids.size:
+                endpoints = pairs[pids]
+                others = np.where(endpoints[:, 0] == user, endpoints[:, 1], endpoints[:, 0])
+            else:
+                others = pids
+            self._incident.append((pids, others))
+        # Number of slots at which each user currently displays each item
+        # (0/1 under the no-duplication constraint, but counts keep duplicate
+        # intermediate states correct too).
+        self._item_count = np.zeros((instance.num_users, instance.num_items), dtype=np.int64)
+        mask = self.assignment != UNASSIGNED
+        rows = np.broadcast_to(
+            np.arange(instance.num_users)[:, None], self.assignment.shape
+        )[mask]
+        np.add.at(self._item_count, (rows, self.assignment[mask]), 1)
+
+        initial = self._full_breakdown()
+        self._preference = initial.preference
+        self._social = initial.social
+        self._indirect = initial.indirect_social
+
+    # ------------------------------------------------------------------ #
+    def _full_breakdown(self) -> UtilityBreakdown:
+        config = SAVGConfiguration(assignment=self.assignment, num_items=self.instance.num_items)
+        if self._is_st:
+            return evaluate_st(self.instance, config)
+        return evaluate(self.instance, config)
+
+    def _social_around(self, user: int, items: Tuple[int, ...]) -> Tuple[float, float]:
+        """(direct, indirect) weighted social mass on ``user``'s pairs for ``items``.
+
+        Direct matches contribute ``lambda * w^c_e`` per matching slot; with
+        teleportation, a shared item without any direct match contributes the
+        discounted ``lambda * d_tel * w^c_e`` once.  All incident pairs are
+        handled with a few vectorized operations per affected item.
+        """
+        pids, others = self._incident[user]
+        if pids.size == 0 or not items:
+            return 0.0, 0.0
+        direct = 0.0
+        indirect = 0.0
+        row_u = self.assignment[user]
+        rows_v = self.assignment[others]  # (deg, k)
+        for item in items:
+            direct_slots = ((row_u == item) & (rows_v == item)).sum(axis=1)  # (deg,)
+            weights = self._lam * self._pair_social[pids, item]
+            direct += float(direct_slots @ weights)
+            if self._is_st and self._item_count[user, item] > 0:
+                shared = (direct_slots == 0) & (self._item_count[others, item] > 0)
+                if np.any(shared):
+                    indirect += self._d_tel * float(weights[shared].sum())
+        return direct, indirect
+
+    # ------------------------------------------------------------------ #
+    def set_cell(self, user: int, slot: int, item: int) -> float:
+        """Display ``item`` to ``user`` at ``slot`` (``UNASSIGNED`` clears the cell).
+
+        Returns the new total utility.
+        """
+        if item != UNASSIGNED and not 0 <= item < self.instance.num_items:
+            raise ValueError(f"item index {item} outside [0, {self.instance.num_items})")
+        old = int(self.assignment[user, slot])
+        if old == item:
+            return self.total
+        affected = tuple(c for c in {old, item} if c != UNASSIGNED)
+
+        if old != UNASSIGNED:
+            self._preference -= (1.0 - self._lam) * float(self.instance.preference[user, old])
+        if item != UNASSIGNED:
+            self._preference += (1.0 - self._lam) * float(self.instance.preference[user, item])
+
+        before_direct, before_indirect = self._social_around(user, affected)
+        self.assignment[user, slot] = item
+        if old != UNASSIGNED:
+            self._item_count[user, old] -= 1
+        if item != UNASSIGNED:
+            self._item_count[user, item] += 1
+        after_direct, after_indirect = self._social_around(user, affected)
+
+        self._social += after_direct - before_direct
+        self._indirect += after_indirect - before_indirect
+        return self.total
+
+    def clear_cell(self, user: int, slot: int) -> float:
+        """Unassign the display unit ``(user, slot)``; returns the new total utility."""
+        return self.set_cell(user, slot, UNASSIGNED)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def breakdown(self) -> UtilityBreakdown:
+        """Current weighted utility decomposition."""
+        return UtilityBreakdown(
+            preference=self._preference,
+            social=self._social,
+            indirect_social=self._indirect,
+        )
+
+    @property
+    def total(self) -> float:
+        """Current total SAVG utility."""
+        return self._preference + self._social + self._indirect
+
+    def configuration(self) -> SAVGConfiguration:
+        """Snapshot of the current assignment as an independent configuration."""
+        return SAVGConfiguration(
+            assignment=self.assignment.copy(), num_items=self.instance.num_items
+        )
+
+    def resync(self) -> UtilityBreakdown:
+        """Recompute the breakdown from scratch (guards against float drift)."""
+        fresh = self._full_breakdown()
+        self._preference = fresh.preference
+        self._social = fresh.social
+        self._indirect = fresh.indirect_social
+        return fresh
+
+
 __all__ = [
     "UtilityBreakdown",
+    "DeltaEvaluator",
     "raw_preference_total",
     "raw_social_total",
     "raw_indirect_social_total",

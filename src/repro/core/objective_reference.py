@@ -1,0 +1,189 @@
+"""Scalar reference implementation of the SAVG objectives — the test oracle.
+
+This module is the original per-user/per-slot/per-edge Python-loop evaluation
+of the SAVG utility (Definitions 3 and 5).  It has been superseded by the
+vectorized engine in :mod:`repro.core.objective` for all production call
+sites; it is kept verbatim because its structure mirrors the paper's
+definitions line by line, which makes it trivially auditable.  The
+equivalence property tests (``tests/test_objective_equivalence.py``) assert
+that the vectorized engine and this oracle agree to 1e-9 on randomized SVGIC
+and SVGIC-ST instances, so any drift in the fast path is caught immediately.
+
+Do not add new call sites: import from :mod:`repro.core.objective` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.objective import UtilityBreakdown
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+
+
+def raw_preference_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Unweighted ``sum_u sum_{c in A(u,.)} p(u, c)`` over assigned display units."""
+    total = 0.0
+    for user in range(instance.num_users):
+        for slot in range(instance.num_slots):
+            item = config.assignment[user, slot]
+            if item != UNASSIGNED:
+                total += float(instance.preference[user, int(item)])
+    return total
+
+
+def raw_social_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Unweighted ``sum tau(u, v, c)`` over directed edges with a direct co-display on ``c``."""
+    total = 0.0
+    assignment = config.assignment
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        # Direct co-display: identical item at an identical slot.
+        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
+        if not np.any(same):
+            continue
+        for slot in np.nonzero(same)[0]:
+            item = int(assignment[u, slot])
+            total += float(instance.social[e, item])
+    return total
+
+
+def raw_indirect_social_total(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Unweighted ``sum tau(u, v, c)`` over directed edges with an *indirect* co-display on ``c``.
+
+    Indirect co-display (Definition 4): both endpoints are displayed the same
+    item, but at different slots.  The no-duplication constraint makes direct
+    and indirect co-display mutually exclusive per (edge, item).
+    """
+    total = 0.0
+    assignment = config.assignment
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        items_u = set(int(c) for c in assignment[u] if c != UNASSIGNED)
+        items_v = set(int(c) for c in assignment[v] if c != UNASSIGNED)
+        for item in items_u & items_v:
+            if not config.co_displayed(u, v, item):
+                total += float(instance.social[e, item])
+    return total
+
+
+def evaluate(instance: SVGICInstance, config: SAVGConfiguration) -> UtilityBreakdown:
+    """SAVG utility (Definition 3) of ``config`` on ``instance``."""
+    lam = instance.social_weight
+    preference = (1.0 - lam) * raw_preference_total(instance, config)
+    social = lam * raw_social_total(instance, config)
+    return UtilityBreakdown(preference=preference, social=social)
+
+
+def evaluate_st(instance: SVGICSTInstance, config: SAVGConfiguration) -> UtilityBreakdown:
+    """SAVG utility with indirect co-display (Definition 5) of ``config``."""
+    lam = instance.social_weight
+    preference = (1.0 - lam) * raw_preference_total(instance, config)
+    social = lam * raw_social_total(instance, config)
+    indirect = lam * instance.teleport_discount * raw_indirect_social_total(instance, config)
+    return UtilityBreakdown(preference=preference, social=social, indirect_social=indirect)
+
+
+def total_utility(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Shortcut for ``evaluate(instance, config).total`` (ST-aware)."""
+    if isinstance(instance, SVGICSTInstance):
+        return evaluate_st(instance, config).total
+    return evaluate(instance, config).total
+
+
+def scaled_total_utility(instance: SVGICInstance, config: SAVGConfiguration) -> float:
+    """Objective on the scaled (lambda = 1/2, x2) scale used by Section 4."""
+    if instance.social_weight == 0:
+        raise ValueError("scaled objective undefined for social_weight=0")
+    return total_utility(instance, config) / instance.social_weight
+
+
+def per_user_utility(instance: SVGICInstance, config: SAVGConfiguration) -> np.ndarray:
+    """Per-user achieved SAVG utility ``sum_{c in A(u,.)} w_A(u, c)``.
+
+    Social utility ``tau(u, v, c)`` is credited to user ``u`` (the viewer),
+    matching Definition 3.
+    """
+    lam = instance.social_weight
+    values = np.zeros(instance.num_users, dtype=float)
+    assignment = config.assignment
+    for user in range(instance.num_users):
+        for slot in range(instance.num_slots):
+            item = assignment[user, slot]
+            if item != UNASSIGNED:
+                values[user] += (1.0 - lam) * float(instance.preference[user, int(item)])
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
+        for slot in np.nonzero(same)[0]:
+            item = int(assignment[u, slot])
+            values[u] += lam * float(instance.social[e, item])
+    return values
+
+
+def optimistic_user_upper_bound(instance: SVGICInstance) -> np.ndarray:
+    """Per-user upper bound used by the happiness/regret ratio (Section 6.5)."""
+    lam = instance.social_weight
+    w_bar = (1.0 - lam) * instance.preference.copy()
+    for e in range(instance.num_edges):
+        u = int(instance.edges[e, 0])
+        w_bar[u] += lam * instance.social[e]
+    k = instance.num_slots
+    # Sum of the k largest w_bar values per user.
+    top_k = np.partition(w_bar, instance.num_items - k, axis=1)[:, instance.num_items - k:]
+    return top_k.sum(axis=1)
+
+
+def weighted_total_utility(
+    instance: SVGICInstance,
+    config: SAVGConfiguration,
+    *,
+    commodity_values: Optional[np.ndarray] = None,
+    slot_significance: Optional[np.ndarray] = None,
+) -> float:
+    """Objective with the Section-5 weights (commodity value, slot significance)."""
+    lam = instance.social_weight
+    m, k = instance.num_items, instance.num_slots
+    omega = np.ones(m) if commodity_values is None else np.asarray(commodity_values, dtype=float)
+    gamma = np.ones(k) if slot_significance is None else np.asarray(slot_significance, dtype=float)
+    if omega.shape != (m,):
+        raise ValueError(f"commodity_values must have shape ({m},), got {omega.shape}")
+    if gamma.shape != (k,):
+        raise ValueError(f"slot_significance must have shape ({k},), got {gamma.shape}")
+
+    total = 0.0
+    assignment = config.assignment
+    for user in range(instance.num_users):
+        for slot in range(k):
+            item = assignment[user, slot]
+            if item == UNASSIGNED:
+                continue
+            total += (
+                omega[int(item)]
+                * gamma[slot]
+                * (1.0 - lam)
+                * float(instance.preference[user, int(item)])
+            )
+    for e in range(instance.num_edges):
+        u, v = int(instance.edges[e, 0]), int(instance.edges[e, 1])
+        same = (assignment[u] == assignment[v]) & (assignment[u] != UNASSIGNED)
+        for slot in np.nonzero(same)[0]:
+            item = int(assignment[u, slot])
+            total += omega[item] * gamma[slot] * lam * float(instance.social[e, item])
+    return total
+
+
+__all__ = [
+    "raw_preference_total",
+    "raw_social_total",
+    "raw_indirect_social_total",
+    "evaluate",
+    "evaluate_st",
+    "total_utility",
+    "scaled_total_utility",
+    "per_user_utility",
+    "optimistic_user_upper_bound",
+    "weighted_total_utility",
+]

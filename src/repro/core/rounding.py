@@ -59,15 +59,24 @@ def independent_rounding(
     config = SAVGConfiguration.for_instance(instance)
     violations = 0
 
+    # Sample every display unit in one shot by inverse-CDF over the item
+    # axis; display units with zero LP mass fall back to the uniform
+    # distribution.  Only the duplication bookkeeping below stays sequential
+    # (a unit's repair depends on the user's earlier slots).
+    probabilities = np.asarray(fractional.slot_factors, dtype=float).copy()  # (n, m, k)
+    totals = probabilities.sum(axis=1, keepdims=True)
+    probabilities = np.where(
+        totals > 0,
+        np.divide(probabilities, totals, out=np.zeros_like(probabilities), where=totals > 0),
+        1.0 / m,
+    )
+    cumulative = probabilities.cumsum(axis=1)
+    draws = generator.random((n, 1, k))
+    samples = np.minimum((draws > cumulative).sum(axis=1), m - 1)  # (n, k)
+
     for u in range(n):
         for s in range(k):
-            probabilities = np.asarray(fractional.slot_factors[u, :, s], dtype=float).copy()
-            total = probabilities.sum()
-            if total <= 0:
-                probabilities = np.full(m, 1.0 / m)
-            else:
-                probabilities = probabilities / total
-            item = int(generator.choice(m, p=probabilities))
+            item = int(samples[u, s])
             if config.user_has_item(u, item):
                 violations += 1
                 if repair:

@@ -4,6 +4,10 @@ Everything in Section 6 follows the same pattern — build instances, run a set
 of algorithms, collect utility / time / subgroup metrics.  The harness
 factors that pattern out so each figure in :mod:`repro.experiments.figures`
 is a short declarative function.
+
+Metric computation sits on the vectorized objective engine
+(:mod:`repro.core.objective`), so the per-sweep-point cost is dominated by
+the algorithms themselves (LP solves, rounding passes), not by evaluation.
 """
 
 from __future__ import annotations

@@ -3,6 +3,12 @@
 The experiment harness calls :func:`evaluate_result` for every algorithm on
 every instance and collects the flat dictionaries into result tables; this is
 what the benchmark scripts print to reproduce the paper's figures.
+
+All utility numbers come from the vectorized engine in
+:mod:`repro.core.objective` (the breakdown is computed once when the
+:class:`~repro.core.result.AlgorithmResult` is built, and the regret ratios
+ride on the vectorized ``per_user_utility`` / ``optimistic_user_upper_bound``),
+so evaluating a result is cheap even on large instances.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import numpy as np
 from repro.core.problem import SVGICInstance, SVGICSTInstance
 from repro.core.result import AlgorithmResult
 from repro.core.svgic_st import size_violation_report
-from repro.metrics.regret import mean_regret, regret_ratios
+from repro.metrics.regret import regret_ratios
 from repro.metrics.subgroups import subgroup_metrics
 
 

@@ -1,0 +1,90 @@
+"""Approximation-guarantee regression tests (Theorems 2/3, Corollary 4.1).
+
+On small seeded instances the paper's guarantees must hold numerically:
+
+* AVG and AVG-D both return a configuration whose scaled objective is at
+  least one quarter of the LP optimum (the LP upper-bounds the integral
+  optimum, so this is the 4-approximation certificate), and
+* the exact IP solution dominates both approximation algorithms.
+
+These are regression tests for the whole pipeline — the LP relaxation, the
+CSF rounding and the vectorized objective engine that scores the results —
+so a silent objective-scale bug anywhere shows up as a guarantee violation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.avg import run_avg
+from repro.core.avg_d import run_avg_d
+from repro.core.ip import solve_exact
+from repro.core.lp import solve_lp_relaxation
+from repro.data import datasets
+
+TOLERANCE = 1e-9
+
+
+def _small_instances():
+    yield datasets.make_instance("timik", num_users=6, num_items=10, num_slots=2, seed=11)
+    yield datasets.make_instance(
+        "timik", num_users=8, num_items=12, num_slots=3, social_weight=0.75, seed=12
+    )
+    yield datasets.make_st_instance(
+        "timik",
+        num_users=6,
+        num_items=10,
+        num_slots=2,
+        max_subgroup_size=3,
+        teleport_discount=0.5,
+        seed=13,
+    )
+
+
+@pytest.fixture(scope="module", params=range(3), ids=["svgic-a", "svgic-b", "svgic-st"])
+def pipeline(request):
+    instance = list(_small_instances())[request.param]
+    fractional = solve_lp_relaxation(instance, prune_items=False)
+    avg = run_avg(instance, fractional, rng=request.param, repetitions=3)
+    avg_d = run_avg_d(instance, fractional, balancing_ratio=0.25)
+    exact = solve_exact(instance, prune_items=False)
+    return instance, fractional, avg, avg_d, exact
+
+
+class TestQuarterOfLPOptimum:
+    def test_avg_at_least_quarter_of_lp(self, pipeline):
+        instance, fractional, avg, _, _ = pipeline
+        assert avg.scaled_objective(instance) >= (
+            fractional.scaled_objective(instance) / 4.0 - TOLERANCE
+        )
+
+    def test_avg_d_at_least_quarter_of_lp(self, pipeline):
+        instance, fractional, _, avg_d, _ = pipeline
+        assert avg_d.scaled_objective(instance) >= (
+            fractional.scaled_objective(instance) / 4.0 - TOLERANCE
+        )
+
+    def test_lp_upper_bounds_exact_optimum(self, pipeline):
+        instance, fractional, _, _, exact = pipeline
+        assert fractional.scaled_objective(instance) >= (
+            exact.scaled_objective(instance) - 1e-6
+        )
+
+
+class TestExactDominates:
+    def test_exact_is_optimal(self, pipeline):
+        _, _, _, _, exact = pipeline
+        assert exact.optimal
+
+    def test_exact_at_least_avg(self, pipeline):
+        instance, _, avg, _, exact = pipeline
+        assert exact.scaled_objective(instance) >= avg.scaled_objective(instance) - 1e-6
+
+    def test_exact_at_least_avg_d(self, pipeline):
+        instance, _, _, avg_d, exact = pipeline
+        assert exact.scaled_objective(instance) >= avg_d.scaled_objective(instance) - 1e-6
+
+    def test_configurations_are_valid(self, pipeline):
+        instance, _, avg, avg_d, exact = pipeline
+        for result in (avg, avg_d, exact):
+            assert result.configuration.is_valid(instance)

@@ -11,7 +11,8 @@ from repro.core.avg import run_avg
 from repro.core.avg_d import run_avg_d
 from repro.core.ip import solve_exact
 from repro.core.lp import solve_lp_relaxation
-from repro.core.objective import scaled_total_utility
+from repro.core.objective import evaluate, evaluate_st, scaled_total_utility
+from repro.core.problem import SVGICSTInstance
 from repro.data.example_paper import (
     FRIENDSHIP_PARTITION,
     PREFERENCE_PARTITION,
@@ -64,6 +65,67 @@ class TestTableUtilities:
         assert scaled_total_utility(
             instance, subgroup_by_preference_configuration(instance)
         ) == pytest.approx(8.7)
+
+
+class TestGoldenUtilityBreakdown:
+    """Pin the exact utility decomposition of the running example.
+
+    These numbers (Definition-3 scale, λ = 1/2) were computed once with the
+    scalar reference oracle and are frozen so a refactor of the vectorized
+    engine cannot silently drift any component.  On the scaled (x2) scale
+    the totals are the familiar 10.35 / 9.85 of Examples 4-5.
+    """
+
+    GOLDEN = {
+        # config factory -> (preference, social, indirect SVGIC-ST, total ST)
+        "optimal": (4.0, 1.175, 0.025, 5.2),
+        "avg_d": (3.725, 1.2, 0.0, 4.925),
+    }
+
+    @pytest.fixture(scope="class")
+    def st_instance(self, instance):
+        return SVGICSTInstance.from_instance(
+            instance, teleport_discount=0.5, max_subgroup_size=3
+        )
+
+    def _configs(self, instance):
+        return {
+            "optimal": optimal_configuration(instance),
+            "avg_d": avg_d_example_configuration(instance),
+        }
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_svgic_breakdown(self, instance, name):
+        preference, social, _, _ = self.GOLDEN[name]
+        breakdown = evaluate(instance, self._configs(instance)[name])
+        assert breakdown.preference == pytest.approx(preference, abs=1e-12)
+        assert breakdown.social == pytest.approx(social, abs=1e-12)
+        assert breakdown.indirect_social == 0.0
+        assert breakdown.total == pytest.approx(preference + social, abs=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_svgic_st_breakdown(self, instance, st_instance, name):
+        preference, social, indirect, total = self.GOLDEN[name]
+        breakdown = evaluate_st(st_instance, self._configs(instance)[name])
+        assert breakdown.preference == pytest.approx(preference, abs=1e-12)
+        assert breakdown.social == pytest.approx(social, abs=1e-12)
+        assert breakdown.indirect_social == pytest.approx(indirect, abs=1e-12)
+        assert breakdown.total == pytest.approx(total, abs=1e-12)
+
+    def test_optimal_st_indirect_source(self, instance, st_instance):
+        # The only indirect co-display of the optimal configuration is the
+        # Alice/Bob pair on c2 (Alice sees c2 at slot 3, Bob at slot 1), with
+        # τ = 0.05 in each direction: λ · d_tel · (0.05 + 0.05) = 0.025.
+        breakdown = evaluate_st(st_instance, optimal_configuration(instance))
+        assert breakdown.indirect_social == pytest.approx(0.5 * 0.5 * (0.05 + 0.05), abs=1e-12)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_shares_match_golden_ratios(self, instance, name):
+        preference, social, _, _ = self.GOLDEN[name]
+        breakdown = evaluate(instance, self._configs(instance)[name])
+        total = preference + social
+        assert breakdown.preference_share == pytest.approx(preference / total, abs=1e-12)
+        assert breakdown.social_share == pytest.approx(social / total, abs=1e-12)
 
 
 class TestAlgorithmsOnExample:
