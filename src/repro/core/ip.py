@@ -30,7 +30,14 @@ def _build_program(
     instance: SVGICInstance,
     items: np.ndarray,
 ) -> MixedIntegerProgram:
-    """Assemble the SVGIC (or SVGIC-ST) MILP restricted to ``items``."""
+    """Assemble the SVGIC (or SVGIC-ST) MILP restricted to ``items``.
+
+    Variable layout: ``x[u, ci, s] -> (u * mc + ci) * k + s``, then
+    ``y[p, ci, s] -> num_x + (p * mc + ci) * k + s``, then (SVGIC-ST only)
+    ``z[p, ci] -> num_x + num_y + p * mc + ci``.  All constraint rows are
+    appended as NumPy triplet batches, in the same row order the loop-built
+    reference (:mod:`repro.core.assembly_reference`) produces.
+    """
     n, k = instance.num_users, instance.num_slots
     lam = instance.social_weight
     pairs = instance.pairs
@@ -45,70 +52,84 @@ def _build_program(
     num_z = num_pairs * mc if is_st else 0
     program = MixedIntegerProgram(num_x + num_y + num_z)
 
-    def x_var(u: int, ci: int, s: int) -> int:
-        return (u * mc + ci) * k + s
-
-    def y_var(p: int, ci: int, s: int) -> int:
-        return num_x + (p * mc + ci) * k + s
-
-    def z_var(p: int, ci: int) -> int:
-        return num_x + num_y + p * mc + ci
-
     # x variables are binary; y / z are continuous in [0,1] (they take binary
     # values at the optimum because their objective coefficients are >= 0 and
     # they are only upper-bounded by x variables).
-    program.mark_integer_block(range(num_x))
+    program.mark_integer_block(np.arange(num_x))
 
     pref = instance.preference[:, items]
-    for u in range(n):
-        for ci in range(mc):
-            coeff = (1.0 - lam) * pref[u, ci]
-            if coeff:
-                for s in range(k):
-                    program.set_objective_coefficient(x_var(u, ci, s), coeff)
-    for p in range(num_pairs):
-        for ci in range(mc):
-            weight = lam * pair_social[p, ci]
-            if weight <= 0:
-                continue
-            y_coeff = weight * (1.0 - d_tel) if is_st else weight
-            for s in range(k):
-                program.set_objective_coefficient(y_var(p, ci, s), y_coeff)
-            if is_st:
-                program.set_objective_coefficient(z_var(p, ci), weight * d_tel)
+    weight = lam * pair_social  # (P, mc)
+    objective_parts = [
+        np.repeat(((1.0 - lam) * pref).ravel(), k),
+        np.repeat((weight * (1.0 - d_tel) if is_st else weight).ravel(), k),
+    ]
+    if is_st:
+        objective_parts.append((weight * d_tel).ravel())
+    program.set_objective_coefficients(
+        np.arange(program.num_variables), np.concatenate(objective_parts)
+    )
 
-    # (1) no-duplication.
-    for u in range(n):
-        for ci in range(mc):
-            program.add_le_constraint([(x_var(u, ci, s), 1.0) for s in range(k)], 1.0)
-    # (2) exactly one item per display unit.
-    for u in range(n):
-        for s in range(k):
-            program.add_eq_constraint([(x_var(u, ci, s), 1.0) for ci in range(mc)], 1.0)
-    # (5)(6) direct co-display coupling.
-    for p in range(num_pairs):
-        u, v = int(pairs[p, 0]), int(pairs[p, 1])
-        for ci in range(mc):
-            if pair_social[p, ci] <= 0:
-                continue
-            for s in range(k):
-                program.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(u, ci, s), -1.0)], 0.0)
-                program.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(v, ci, s), -1.0)], 0.0)
-            if is_st:
-                # (8)(9) indirect co-display coupling on slot-aggregated x.
-                program.add_le_constraint(
-                    [(z_var(p, ci), 1.0)] + [(x_var(u, ci, s), -1.0) for s in range(k)], 0.0
-                )
-                program.add_le_constraint(
-                    [(z_var(p, ci), 1.0)] + [(x_var(v, ci, s), -1.0) for s in range(k)], 0.0
-                )
+    s_idx = np.arange(k)
+
+    # (1) no-duplication: one row per (u, c) over its contiguous slot block.
+    program.add_le_constraints_batch(
+        rows=np.repeat(np.arange(n * mc), k),
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.ones(n * mc),
+    )
+    # (2) exactly one item per display unit: row (u, s) strided over items.
+    unit_cols = (
+        np.arange(n)[:, None, None] * (mc * k)
+        + np.arange(mc)[None, None, :] * k
+        + s_idx[None, :, None]
+    ).ravel()
+    program.add_eq_constraints_batch(
+        rows=np.repeat(np.arange(n * k), mc),
+        cols=unit_cols,
+        vals=np.ones(n * k * mc),
+        rhs=np.ones(n * k),
+    )
+    # (5)(6) direct co-display coupling, plus (8)(9) indirect coupling on the
+    # slot-aggregated x for SVGIC-ST — per positive-weight (pair, item) cell:
+    # 2k per-slot rows followed by the two z rows, as in the reference loop.
+    p_idx, c_idx = np.nonzero(pair_social > 0)
+    if p_idx.size:
+        npos = p_idx.size
+        y_vars = (num_x + (p_idx * mc + c_idx) * k)[:, None] + s_idx  # (npos, k)
+        xu_vars = ((pairs[p_idx, 0] * mc + c_idx) * k)[:, None] + s_idx
+        xv_vars = ((pairs[p_idx, 1] * mc + c_idx) * k)[:, None] + s_idx
+        block = 2 * k + (2 if is_st else 0)  # rows per positive cell
+        row_u = np.arange(npos)[:, None] * block + 2 * s_idx[None, :]
+        row_v = row_u + 1
+        ones = np.ones(npos * k)
+        rows_parts = [row_u.ravel(), row_u.ravel(), row_v.ravel(), row_v.ravel()]
+        cols_parts = [y_vars.ravel(), xu_vars.ravel(), y_vars.ravel(), xv_vars.ravel()]
+        vals_parts = [ones, -ones, ones, -ones]
+        if is_st:
+            row_zu = np.arange(npos) * block + 2 * k
+            row_zv = row_zu + 1
+            z_vars = num_x + num_y + p_idx * mc + c_idx
+            rows_parts += [row_zu, np.repeat(row_zu, k), row_zv, np.repeat(row_zv, k)]
+            cols_parts += [z_vars, xu_vars.ravel(), z_vars, xv_vars.ravel()]
+            vals_parts += [np.ones(npos), -ones, np.ones(npos), -ones]
+        program.add_le_constraints_batch(
+            rows=np.concatenate(rows_parts),
+            cols=np.concatenate(cols_parts),
+            vals=np.concatenate(vals_parts),
+            rhs=np.zeros(npos * block),
+        )
 
     # Subgroup size constraint (SVGIC-ST): at most M users per (item, slot).
     if is_st and instance.max_subgroup_size < n:
         cap = float(instance.max_subgroup_size)
-        for ci in range(mc):
-            for s in range(k):
-                program.add_le_constraint([(x_var(u, ci, s), 1.0) for u in range(n)], cap)
+        cell = np.arange(mc)[:, None] * k + s_idx[None, :]  # row per (c, s)
+        program.add_le_constraints_batch(
+            rows=np.repeat(np.arange(mc * k), n),
+            cols=(cell.ravel()[:, None] + np.arange(n)[None, :] * (mc * k)).ravel(),
+            vals=np.ones(mc * k * n),
+            rhs=np.full(mc * k, cap),
+        )
 
     return program
 
@@ -120,24 +141,25 @@ def _decode_configuration(
     n, k = instance.num_users, instance.num_slots
     mc = items.shape[0]
     x_block = values[: n * mc * k].reshape(n, mc, k)
+    best_ci = np.argmax(x_block, axis=1)  # (n, k)
     config = SAVGConfiguration.for_instance(instance)
-    for u in range(n):
-        for s in range(k):
-            ci = int(np.argmax(x_block[u, :, s]))
-            config.assignment[u, s] = int(items[ci])
+    config.assignment[:, :] = items[best_ci]
     # Defensive repair: if numerical noise produced a duplicate, reassign the
-    # offending slot to the best unused candidate item.
-    for u in range(n):
-        seen: set = set()
+    # offending slot to the best unused candidate item — the one carrying the
+    # highest decoded x mass at that slot, ties broken by preference.
+    sorted_ci = np.sort(best_ci, axis=1)
+    duplicated = np.nonzero((sorted_ci[:, 1:] == sorted_ci[:, :-1]).any(axis=1))[0]
+    pref = instance.preference[:, items]
+    for u in duplicated:
+        used: set = set()
         for s in range(k):
-            item = int(config.assignment[u, s])
-            if item in seen:
-                for candidate in items:
-                    if int(candidate) not in seen:
-                        config.assignment[u, s] = int(candidate)
-                        item = int(candidate)
-                        break
-            seen.add(item)
+            ci = int(best_ci[u, s])
+            if ci in used:
+                unused = np.array([c for c in range(mc) if c not in used])
+                ranked = np.lexsort((pref[u, unused], x_block[u, unused, s]))
+                ci = int(unused[ranked[-1]])
+                config.assignment[u, s] = int(items[ci])
+            used.add(ci)
     return config
 
 

@@ -24,7 +24,7 @@ factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -96,15 +96,12 @@ def candidate_items(
     n, m, k = instance.num_users, instance.num_items, instance.num_slots
     lam = instance.social_weight
     score = (1.0 - lam) * instance.preference.copy()
-    for e in range(instance.num_edges):
-        u = int(instance.edges[e, 0])
-        score[u] += lam * instance.social[e]
+    if instance.num_edges:
+        np.add.at(score, instance.edges[:, 0], lam * instance.social)
 
     per_user = min(m, k + max(0, per_user_extra))
-    chosen: set = set()
-    for u in range(n):
-        top = np.argpartition(-score[u], per_user - 1)[:per_user]
-        chosen.update(int(c) for c in top)
+    top = np.argpartition(-score, per_user - 1, axis=1)[:, :per_user]
+    chosen: set = set(int(c) for c in np.unique(top))
 
     if max_items is not None and len(chosen) > max_items:
         global_score = score.sum(axis=0)
@@ -174,66 +171,82 @@ def solve_lp_relaxation(
 # --------------------------------------------------------------------------- #
 # Simplified formulation (LP_SIMP)
 # --------------------------------------------------------------------------- #
-def _solve_simplified(
+def _build_simplified(
     instance: SVGICInstance,
     items: np.ndarray,
     enforce_size_constraint: bool,
-) -> Tuple[np.ndarray, float, float]:
+) -> LinearProgram:
+    """Assemble LP_SIMP restricted to ``items`` with batched triplet appends.
+
+    Variable layout: ``x[u, ci] -> u * mc + ci`` followed by
+    ``y[p, ci] -> num_x + p * mc + ci``.  Row order matches the loop-built
+    reference in :mod:`repro.core.assembly_reference` exactly.
+    """
     n, k = instance.num_users, instance.num_slots
     lam = instance.social_weight
     pairs = instance.pairs
-    pair_social = instance.pair_social
-    num_pairs = pairs.shape[0]
     mc = items.shape[0]
-
+    num_pairs = pairs.shape[0]
     num_x = n * mc
     num_y = num_pairs * mc
     lp = LinearProgram(num_x + num_y)
 
-    def x_var(u: int, ci: int) -> int:
-        return u * mc + ci
-
-    def y_var(p: int, ci: int) -> int:
-        return num_x + p * mc + ci
-
     # Objective: (1-lambda) p(u,c) x[u,c]  +  lambda w_e(c) y[e,c]
     pref = instance.preference[:, items]
-    for u in range(n):
-        for ci in range(mc):
-            coeff = (1.0 - lam) * pref[u, ci]
-            if coeff:
-                lp.set_objective_coefficient(x_var(u, ci), coeff)
-    w = pair_social[:, items]
-    for p in range(num_pairs):
-        for ci in range(mc):
-            coeff = lam * w[p, ci]
-            if coeff:
-                lp.set_objective_coefficient(y_var(p, ci), coeff)
+    w = instance.pair_social[:, items]
+    lp.set_objective_coefficients(
+        np.arange(num_x + num_y),
+        np.concatenate([((1.0 - lam) * pref).ravel(), (lam * w).ravel()]),
+    )
 
-    # sum_c x[u,c] = k
-    for u in range(n):
-        lp.add_eq_constraint([(x_var(u, ci), 1.0) for ci in range(mc)], float(k))
+    # sum_c x[u,c] = k — one row per user over its contiguous x block.
+    lp.add_eq_constraints_batch(
+        rows=np.repeat(np.arange(n), mc),
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.full(n, float(k)),
+    )
 
-    # y[e,c] <= x[u,c] and y[e,c] <= x[v,c]
-    for p in range(num_pairs):
-        u, v = int(pairs[p, 0]), int(pairs[p, 1])
-        for ci in range(mc):
-            if w[p, ci] <= 0:
-                continue  # y would be 0 at optimum; omit for sparsity
-            lp.add_le_constraint([(y_var(p, ci), 1.0), (x_var(u, ci), -1.0)], 0.0)
-            lp.add_le_constraint([(y_var(p, ci), 1.0), (x_var(v, ci), -1.0)], 0.0)
+    # y[e,c] <= x[u,c] and y[e,c] <= x[v,c] for positive-weight (pair, item)
+    # cells only (y would be 0 at optimum elsewhere; omitted for sparsity).
+    p_idx, c_idx = np.nonzero(w > 0)
+    if p_idx.size:
+        y_vars = num_x + p_idx * mc + c_idx
+        xu_vars = pairs[p_idx, 0] * mc + c_idx
+        xv_vars = pairs[p_idx, 1] * mc + c_idx
+        t = np.arange(p_idx.size)
+        ones = np.ones(p_idx.size)
+        lp.add_le_constraints_batch(
+            rows=np.concatenate([2 * t, 2 * t, 2 * t + 1, 2 * t + 1]),
+            cols=np.concatenate([y_vars, xu_vars, y_vars, xv_vars]),
+            vals=np.concatenate([ones, -ones, ones, -ones]),
+            rhs=np.zeros(2 * p_idx.size),
+        )
 
     # Aggregate relaxation of the subgroup size constraint (SVGIC-ST only).
     if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
         cap = float(instance.max_subgroup_size * k)
         if cap < n * 1.0:  # otherwise the constraint is vacuous
-            for ci in range(mc):
-                lp.add_le_constraint([(x_var(u, ci), 1.0) for u in range(n)], cap)
+            lp.add_le_constraints_batch(
+                rows=np.repeat(np.arange(mc), n),
+                cols=(np.arange(mc)[:, None] + np.arange(n)[None, :] * mc).ravel(),
+                vals=np.ones(mc * n),
+                rhs=np.full(mc, cap),
+            )
+    return lp
 
+
+def _solve_simplified(
+    instance: SVGICInstance,
+    items: np.ndarray,
+    enforce_size_constraint: bool,
+) -> Tuple[np.ndarray, float, float]:
+    n = instance.num_users
+    mc = items.shape[0]
+    lp = _build_simplified(instance, items, enforce_size_constraint)
     result = lp.solve()
-    values = result.values
     compact = np.zeros((n, instance.num_items), dtype=float)
-    x_block = values[:num_x].reshape(n, mc)
+    x_block = result.values[: n * mc].reshape(n, mc)
     compact[:, items] = np.clip(x_block, 0.0, 1.0)
     return compact, result.objective, result.solve_seconds
 
@@ -241,72 +254,105 @@ def _solve_simplified(
 # --------------------------------------------------------------------------- #
 # Full formulation (LP_SVGIC)
 # --------------------------------------------------------------------------- #
+def _build_full(
+    instance: SVGICInstance,
+    items: np.ndarray,
+    enforce_size_constraint: bool,
+) -> LinearProgram:
+    """Assemble LP_SVGIC restricted to ``items`` with batched triplet appends.
+
+    Variable layout: ``x[u, ci, s] -> (u * mc + ci) * k + s`` followed by
+    ``y[p, ci, s] -> num_x + (p * mc + ci) * k + s`` (slot fastest).  Row
+    order matches the loop-built reference exactly.
+    """
+    n, k = instance.num_users, instance.num_slots
+    lam = instance.social_weight
+    pairs = instance.pairs
+    mc = items.shape[0]
+    num_pairs = pairs.shape[0]
+    num_x = n * mc * k
+    num_y = num_pairs * mc * k
+    lp = LinearProgram(num_x + num_y)
+
+    # Per-slot variables share their (u, c) / (p, c) coefficient.
+    pref = instance.preference[:, items]
+    w = instance.pair_social[:, items]
+    lp.set_objective_coefficients(
+        np.arange(num_x + num_y),
+        np.concatenate(
+            [
+                np.repeat(((1.0 - lam) * pref).ravel(), k),
+                np.repeat((lam * w).ravel(), k),
+            ]
+        ),
+    )
+
+    s_idx = np.arange(k)
+
+    # (1) no-duplication: sum_s x[u,c,s] <= 1 — one row per (u, c), whose k
+    # slot variables are contiguous in the layout.
+    lp.add_le_constraints_batch(
+        rows=np.repeat(np.arange(n * mc), k),
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.ones(n * mc),
+    )
+    # (2) one item per (user, slot): sum_c x[u,c,s] = 1 — row (u, s) sums a
+    # strided slice over items.
+    unit_cols = (
+        np.arange(n)[:, None, None] * (mc * k)
+        + np.arange(mc)[None, None, :] * k
+        + s_idx[None, :, None]
+    ).ravel()
+    lp.add_eq_constraints_batch(
+        rows=np.repeat(np.arange(n * k), mc),
+        cols=unit_cols,
+        vals=np.ones(n * k * mc),
+        rhs=np.ones(n * k),
+    )
+    # (5)(6) co-display coupling for positive-weight (pair, item) cells.
+    p_idx, c_idx = np.nonzero(w > 0)
+    if p_idx.size:
+        npos = p_idx.size
+        y_vars = (num_x + (p_idx * mc + c_idx) * k)[:, None] + s_idx
+        xu_vars = ((pairs[p_idx, 0] * mc + c_idx) * k)[:, None] + s_idx
+        xv_vars = ((pairs[p_idx, 1] * mc + c_idx) * k)[:, None] + s_idx
+        ts = np.arange(npos * k)
+        ones = np.ones(npos * k)
+        lp.add_le_constraints_batch(
+            rows=np.concatenate([2 * ts, 2 * ts, 2 * ts + 1, 2 * ts + 1]),
+            cols=np.concatenate(
+                [y_vars.ravel(), xu_vars.ravel(), y_vars.ravel(), xv_vars.ravel()]
+            ),
+            vals=np.concatenate([ones, -ones, ones, -ones]),
+            rhs=np.zeros(2 * npos * k),
+        )
+
+    # Per-slot subgroup size constraint (SVGIC-ST only).
+    if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
+        cap = float(instance.max_subgroup_size)
+        if cap < n:
+            cell = np.arange(mc)[:, None] * k + s_idx[None, :]  # row per (c, s)
+            lp.add_le_constraints_batch(
+                rows=np.repeat(np.arange(mc * k), n),
+                cols=(cell.ravel()[:, None] + np.arange(n)[None, :] * (mc * k)).ravel(),
+                vals=np.ones(mc * k * n),
+                rhs=np.full(mc * k, cap),
+            )
+    return lp
+
+
 def _solve_full(
     instance: SVGICInstance,
     items: np.ndarray,
     enforce_size_constraint: bool,
 ) -> Tuple[np.ndarray, float, float]:
     n, k = instance.num_users, instance.num_slots
-    lam = instance.social_weight
-    pairs = instance.pairs
-    pair_social = instance.pair_social
-    num_pairs = pairs.shape[0]
     mc = items.shape[0]
-
-    num_x = n * mc * k
-    num_y = num_pairs * mc * k
-    lp = LinearProgram(num_x + num_y)
-
-    def x_var(u: int, ci: int, s: int) -> int:
-        return (u * mc + ci) * k + s
-
-    def y_var(p: int, ci: int, s: int) -> int:
-        return num_x + (p * mc + ci) * k + s
-
-    pref = instance.preference[:, items]
-    for u in range(n):
-        for ci in range(mc):
-            coeff = (1.0 - lam) * pref[u, ci]
-            if coeff:
-                for s in range(k):
-                    lp.set_objective_coefficient(x_var(u, ci, s), coeff)
-    w = pair_social[:, items]
-    for p in range(num_pairs):
-        for ci in range(mc):
-            coeff = lam * w[p, ci]
-            if coeff:
-                for s in range(k):
-                    lp.set_objective_coefficient(y_var(p, ci, s), coeff)
-
-    # (1) no-duplication: sum_s x[u,c,s] <= 1
-    for u in range(n):
-        for ci in range(mc):
-            lp.add_le_constraint([(x_var(u, ci, s), 1.0) for s in range(k)], 1.0)
-    # (2) one item per (user, slot): sum_c x[u,c,s] = 1
-    for u in range(n):
-        for s in range(k):
-            lp.add_eq_constraint([(x_var(u, ci, s), 1.0) for ci in range(mc)], 1.0)
-    # (5)(6) co-display coupling
-    for p in range(num_pairs):
-        u, v = int(pairs[p, 0]), int(pairs[p, 1])
-        for ci in range(mc):
-            if w[p, ci] <= 0:
-                continue
-            for s in range(k):
-                lp.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(u, ci, s), -1.0)], 0.0)
-                lp.add_le_constraint([(y_var(p, ci, s), 1.0), (x_var(v, ci, s), -1.0)], 0.0)
-
-    if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
-        cap = float(instance.max_subgroup_size)
-        if cap < n:
-            for ci in range(mc):
-                for s in range(k):
-                    lp.add_le_constraint([(x_var(u, ci, s), 1.0) for u in range(n)], cap)
-
+    lp = _build_full(instance, items, enforce_size_constraint)
     result = lp.solve()
-    values = result.values
     slot = np.zeros((n, instance.num_items, k), dtype=float)
-    x_block = values[:num_x].reshape(n, mc, k)
+    x_block = result.values[: n * mc * k].reshape(n, mc, k)
     slot[:, items, :] = np.clip(x_block, 0.0, 1.0)
     return slot, result.objective, result.solve_seconds
 

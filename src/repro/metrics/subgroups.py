@@ -101,7 +101,11 @@ def subgroup_metrics(instance: SVGICInstance, config: SAVGConfiguration) -> Subg
             else:
                 density_samples.append(0.0)
         for u, v in pairs:
-            if member_to_group.get(int(u)) == member_to_group.get(int(v)):
+            group_u = member_to_group.get(int(u))
+            group_v = member_to_group.get(int(v))
+            # An unassigned endpoint belongs to no subgroup, so the pair
+            # cannot be intra at this slot; count it as inter.
+            if group_u is not None and group_u == group_v:
                 intra_total += 1
             else:
                 inter_total += 1

@@ -1,0 +1,205 @@
+"""Sparse constraint-row accumulator shared by the LP and MILP wrappers.
+
+Constraint rows arrive through two code paths:
+
+* one row at a time via the per-term ``add_le_constraint`` /
+  ``add_eq_constraint`` methods (tiny hand-built models, tests, the
+  branch-and-bound harness), and
+* wholesale via the ``add_*_constraints_batch`` methods, which append NumPy
+  triplet arrays covering thousands of rows in one call — the path the
+  vectorized model builders in :mod:`repro.core.lp` / :mod:`repro.core.ip`
+  use.
+
+:class:`TripletConstraintBlock` keeps both paths cheap: scalar appends go to
+plain Python lists, and a batch promotes the pending buffer to a NumPy chunk
+before appending its own arrays, so mixed scalar/batch construction preserves
+insertion order (row ids are assigned sequentially across both paths) without
+per-element Python iteration on the batch path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+def checked_index_array(indices: np.ndarray, size: int) -> np.ndarray:
+    """Convert ``indices`` to int64 and validate every entry lies in ``[0, size)``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    if idx.size and (idx.min() < 0 or idx.max() >= size):
+        raise ValueError(f"variable indices must lie in [0, {size})")
+    return idx
+
+
+def assign_coefficients(
+    target: np.ndarray, variables: np.ndarray, coefficients: np.ndarray
+) -> None:
+    """Vectorized ``target[variables] = coefficients`` with shape and range checks."""
+    variables = np.asarray(variables, dtype=np.int64)
+    coefficients = np.asarray(coefficients, dtype=float)
+    if variables.shape != coefficients.shape:
+        raise ValueError(
+            f"variables and coefficients must have identical shapes, got "
+            f"{variables.shape} and {coefficients.shape}"
+        )
+    target[checked_index_array(variables, target.shape[0])] = coefficients
+
+
+class TripletConstraintBlock:
+    """Rows of a sparse constraint system ``lhs <= A x <= rhs`` in insertion order.
+
+    Parameters
+    ----------
+    num_columns:
+        Number of variables (columns of ``A``); column indices are validated
+        against it on the batch path.
+    track_lower:
+        When ``True`` a per-row lower bound (``lhs``) is stored alongside the
+        upper bound, as the MILP wrapper's range constraints need; when
+        ``False`` only ``rhs`` is kept.
+    """
+
+    def __init__(self, num_columns: int, *, track_lower: bool = False) -> None:
+        self.num_columns = int(num_columns)
+        self.track_lower = bool(track_lower)
+        self.num_rows = 0
+        # Promoted NumPy chunks (rows are global ids).
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._rhs_chunks: List[np.ndarray] = []
+        self._lhs_chunks: List[np.ndarray] = []
+        # Pending scalar appends, promoted lazily.
+        self._pending_rows: List[int] = []
+        self._pending_cols: List[int] = []
+        self._pending_vals: List[float] = []
+        self._pending_rhs: List[float] = []
+        self._pending_lhs: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    # Row insertion
+    # ------------------------------------------------------------------ #
+    def add_row(
+        self, terms: Sequence[Tuple[int, float]], rhs: float, lhs: float = -np.inf
+    ) -> int:
+        """Append one row from ``(variable, coefficient)`` terms; returns its row id."""
+        row = self.num_rows
+        for var, coeff in terms:
+            self._pending_rows.append(row)
+            self._pending_cols.append(int(var))
+            self._pending_vals.append(float(coeff))
+        self._pending_rhs.append(float(rhs))
+        if self.track_lower:
+            self._pending_lhs.append(float(lhs))
+        self.num_rows += 1
+        return row
+
+    def add_rows(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        rhs: np.ndarray,
+        lhs: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Append ``len(rhs)`` rows wholesale from triplet arrays.
+
+        ``rows`` holds batch-local 0-based row indices (one ``rhs`` entry per
+        row); the returned array gives the global row ids assigned to the
+        batch.  The arrays are snapshotted (copied), so the caller may reuse
+        or mutate them afterwards.  Raises ``ValueError`` on mismatched
+        triplet lengths or out-of-range row/column indices.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()  # rows + offset copies below
+        cols = np.array(cols, dtype=np.int64, copy=True).ravel()
+        vals = np.array(vals, dtype=float, copy=True).ravel()
+        rhs = np.atleast_1d(np.array(rhs, dtype=float, copy=True))
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError(
+                "rows/cols/vals must have identical lengths, got "
+                f"{rows.shape[0]}/{cols.shape[0]}/{vals.shape[0]}"
+            )
+        num_new = rhs.shape[0]
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= num_new:
+                raise ValueError(
+                    f"batch row indices must lie in [0, {num_new}) — one rhs entry per row"
+                )
+            if cols.min() < 0 or cols.max() >= self.num_columns:
+                raise ValueError(f"column indices must lie in [0, {self.num_columns})")
+        self._flush_pending()
+        offset = self.num_rows
+        self._chunks.append((rows + offset, cols, vals))
+        self._rhs_chunks.append(rhs)
+        if self.track_lower:
+            if lhs is None:
+                lhs_arr = np.full(num_new, -np.inf)
+            else:
+                lhs_arr = np.atleast_1d(np.array(lhs, dtype=float, copy=True))
+            if lhs_arr.shape[0] != num_new:
+                raise ValueError(
+                    f"lhs has {lhs_arr.shape[0]} entries but the batch has {num_new} rows"
+                )
+            self._lhs_chunks.append(lhs_arr)
+        self.num_rows += num_new
+        return np.arange(offset, offset + num_new, dtype=np.int64)
+
+    def _flush_pending(self) -> None:
+        if not self._pending_rhs:
+            return
+        self._chunks.append(
+            (
+                np.asarray(self._pending_rows, dtype=np.int64),
+                np.asarray(self._pending_cols, dtype=np.int64),
+                np.asarray(self._pending_vals, dtype=float),
+            )
+        )
+        self._rhs_chunks.append(np.asarray(self._pending_rhs, dtype=float))
+        if self.track_lower:
+            self._lhs_chunks.append(np.asarray(self._pending_lhs, dtype=float))
+        self._pending_rows = []
+        self._pending_cols = []
+        self._pending_vals = []
+        self._pending_rhs = []
+        self._pending_lhs = []
+
+    # ------------------------------------------------------------------ #
+    # Assembly
+    # ------------------------------------------------------------------ #
+    def triplets(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Concatenated ``(rows, cols, vals)`` arrays with global row ids."""
+        self._flush_pending()
+        if not self._chunks:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.empty(0, dtype=float)
+        return (
+            np.concatenate([c[0] for c in self._chunks]),
+            np.concatenate([c[1] for c in self._chunks]),
+            np.concatenate([c[2] for c in self._chunks]),
+        )
+
+    def matrix(self) -> sparse.csr_matrix:
+        """The rows assembled as one CSR matrix of shape ``(num_rows, num_columns)``."""
+        rows, cols, vals = self.triplets()
+        return sparse.coo_matrix(
+            (vals, (rows, cols)), shape=(self.num_rows, self.num_columns)
+        ).tocsr()
+
+    def rhs_vector(self) -> np.ndarray:
+        """Per-row upper bounds in row order."""
+        self._flush_pending()
+        if not self._rhs_chunks:
+            return np.empty(0, dtype=float)
+        return np.concatenate(self._rhs_chunks)
+
+    def lhs_vector(self) -> np.ndarray:
+        """Per-row lower bounds in row order (requires ``track_lower=True``)."""
+        if not self.track_lower:
+            raise ValueError("this block does not track per-row lower bounds")
+        self._flush_pending()
+        if not self._lhs_chunks:
+            return np.empty(0, dtype=float)
+        return np.concatenate(self._lhs_chunks)
+
+
+__all__ = ["TripletConstraintBlock", "assign_coefficients", "checked_index_array"]

@@ -106,13 +106,10 @@ class BranchAndBoundSolver:
     def _assemble(
         program: MixedIntegerProgram,
     ) -> Tuple[Optional[sparse.csr_matrix], Optional[np.ndarray], Optional[np.ndarray]]:
-        if program.num_constraints == 0:
+        assembled = program.build_constraints()
+        if assembled is None:
             return None, None, None
-        matrix = sparse.coo_matrix(
-            (program._vals, (program._rows, program._cols)),
-            shape=(program.num_constraints, program.num_variables),
-        ).tocsr()
-        return matrix, np.asarray(program._lhs, float), np.asarray(program._rhs, float)
+        return assembled
 
     # ------------------------------------------------------------------ #
     def _solve_relaxation(
@@ -138,7 +135,7 @@ class BranchAndBoundSolver:
             c=-self.program.objective,
             A_ub=a_ub,
             b_ub=b_ub,
-            bounds=list(zip(lower, upper)),
+            bounds=np.column_stack([lower, upper]),
             method="highs",
         )
         if not result.success:

@@ -5,17 +5,29 @@ bounded in ``[lb, ub]`` with sparse "less-or-equal" and "equal" constraint
 blocks.  :class:`LinearProgram` accumulates constraint triplets and hands a
 single sparse matrix to ``scipy.optimize.linprog``; this keeps model-building
 code in :mod:`repro.core.lp` close to the paper's algebraic formulation.
+
+Constraints can be added one at a time from ``(variable, coefficient)`` terms
+(:meth:`LinearProgram.add_le_constraint` / :meth:`~LinearProgram.add_eq_constraint`)
+or wholesale from NumPy triplet arrays
+(:meth:`~LinearProgram.add_le_constraints_batch` /
+:meth:`~LinearProgram.add_eq_constraints_batch`), with
+:meth:`~LinearProgram.set_objective_coefficients` as the matching vectorized
+objective setter.  The batch path is what the vectorized model builders use:
+on large instances, per-term Python appends dominate end-to-end solve time,
+while a triplet batch is appended in O(1) NumPy operations.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
+
+from repro.solvers.assembly import TripletConstraintBlock, assign_coefficients
 
 
 class LPError(RuntimeError):
@@ -53,6 +65,7 @@ class LinearProgram:
     >>> lp.set_objective_coefficient(0, 1.0)
     >>> lp.set_objective_coefficient(1, 1.0)
     >>> lp.add_le_constraint([(0, 1.0), (1, 2.0)], 4.0)
+    0
     >>> result = lp.solve()
     >>> round(result.objective, 6)
     2.0
@@ -79,15 +92,8 @@ class LinearProgram:
             raise ValueError("lower_bounds has the wrong shape")
         if self.upper_bounds.shape != (self.num_variables,):
             raise ValueError("upper_bounds has the wrong shape")
-        # Constraint triplets: (row, col, coefficient)
-        self._ub_rows: List[int] = []
-        self._ub_cols: List[int] = []
-        self._ub_vals: List[float] = []
-        self._ub_rhs: List[float] = []
-        self._eq_rows: List[int] = []
-        self._eq_cols: List[int] = []
-        self._eq_vals: List[float] = []
-        self._eq_rhs: List[float] = []
+        self._ub = TripletConstraintBlock(self.num_variables)
+        self._eq = TripletConstraintBlock(self.num_variables)
 
     # ------------------------------------------------------------------ #
     # Model building
@@ -96,39 +102,49 @@ class LinearProgram:
         """Set (overwrite) the maximization objective coefficient of ``variable``."""
         self.objective[variable] = coefficient
 
+    def set_objective_coefficients(
+        self, variables: np.ndarray, coefficients: np.ndarray
+    ) -> None:
+        """Set (overwrite) the objective coefficients of many variables at once."""
+        assign_coefficients(self.objective, variables, coefficients)
+
     def add_objective(self, variable: int, coefficient: float) -> None:
         """Add ``coefficient`` to the objective coefficient of ``variable``."""
         self.objective[variable] += coefficient
 
     def add_le_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
         """Add ``sum coeff * x_var <= rhs``; returns the constraint row index."""
-        row = len(self._ub_rhs)
-        for var, coeff in terms:
-            self._ub_rows.append(row)
-            self._ub_cols.append(int(var))
-            self._ub_vals.append(float(coeff))
-        self._ub_rhs.append(float(rhs))
-        return row
+        return self._ub.add_row(terms, rhs)
 
     def add_eq_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> int:
         """Add ``sum coeff * x_var == rhs``; returns the constraint row index."""
-        row = len(self._eq_rhs)
-        for var, coeff in terms:
-            self._eq_rows.append(row)
-            self._eq_cols.append(int(var))
-            self._eq_vals.append(float(coeff))
-        self._eq_rhs.append(float(rhs))
-        return row
+        return self._eq.add_row(terms, rhs)
+
+    def add_le_constraints_batch(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Add ``len(rhs)`` <= constraints wholesale from triplet arrays.
+
+        ``rows`` holds batch-local 0-based row indices; the returned array
+        gives the global row ids of the appended constraints.
+        """
+        return self._ub.add_rows(rows, cols, vals, rhs)
+
+    def add_eq_constraints_batch(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Add ``len(rhs)`` == constraints wholesale from triplet arrays."""
+        return self._eq.add_rows(rows, cols, vals, rhs)
 
     @property
     def num_le_constraints(self) -> int:
         """Number of <= constraints added so far."""
-        return len(self._ub_rhs)
+        return self._ub.num_rows
 
     @property
     def num_eq_constraints(self) -> int:
         """Number of == constraints added so far."""
-        return len(self._eq_rhs)
+        return self._eq.num_rows
 
     # ------------------------------------------------------------------ #
     # Solving
@@ -137,18 +153,12 @@ class LinearProgram:
                                       Optional[sparse.csr_matrix], Optional[np.ndarray]]:
         """Assemble (A_ub, b_ub, A_eq, b_eq) sparse matrices (``None`` when empty)."""
         a_ub = b_ub = a_eq = b_eq = None
-        if self._ub_rhs:
-            a_ub = sparse.coo_matrix(
-                (self._ub_vals, (self._ub_rows, self._ub_cols)),
-                shape=(len(self._ub_rhs), self.num_variables),
-            ).tocsr()
-            b_ub = np.asarray(self._ub_rhs, dtype=float)
-        if self._eq_rhs:
-            a_eq = sparse.coo_matrix(
-                (self._eq_vals, (self._eq_rows, self._eq_cols)),
-                shape=(len(self._eq_rhs), self.num_variables),
-            ).tocsr()
-            b_eq = np.asarray(self._eq_rhs, dtype=float)
+        if self._ub.num_rows:
+            a_ub = self._ub.matrix()
+            b_ub = self._ub.rhs_vector()
+        if self._eq.num_rows:
+            a_eq = self._eq.matrix()
+            b_eq = self._eq.rhs_vector()
         return a_ub, b_ub, a_eq, b_eq
 
     def solve(self, *, time_limit: Optional[float] = None) -> LPResult:
@@ -157,7 +167,6 @@ class LinearProgram:
         Raises :class:`LPError` if the solver does not reach optimality.
         """
         a_ub, b_ub, a_eq, b_eq = self.build_matrices()
-        bounds = list(zip(self.lower_bounds, self.upper_bounds))
         options = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
@@ -168,7 +177,7 @@ class LinearProgram:
             b_ub=b_ub,
             A_eq=a_eq,
             b_eq=b_eq,
-            bounds=bounds,
+            bounds=np.column_stack([self.lower_bounds, self.upper_bounds]),
             method="highs",
             options=options or None,
         )
@@ -205,7 +214,7 @@ def solve_linear_program(
         b_ub=b_ub,
         A_eq=a_eq,
         b_eq=b_eq,
-        bounds=list(zip(lb, ub)),
+        bounds=np.column_stack([lb, ub]),
         method="highs",
     )
     elapsed = time.perf_counter() - start

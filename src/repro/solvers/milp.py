@@ -6,17 +6,34 @@ Figure 9(a) are solved through this module.  The interface mirrors
 assembly) with an additional integrality mask and solver control knobs
 (``time_limit``, ``mip_rel_gap``, ``node_limit``) that stand in for the
 Gurobi strategy switches used in the paper.
+
+Like the LP wrapper, constraints are accepted either per-term
+(:meth:`MixedIntegerProgram.add_le_constraint` /
+:meth:`~MixedIntegerProgram.add_eq_constraint`) or wholesale as NumPy triplet
+arrays (:meth:`~MixedIntegerProgram.add_le_constraints_batch` /
+:meth:`~MixedIntegerProgram.add_eq_constraints_batch` /
+:meth:`~MixedIntegerProgram.add_range_constraints_batch`), with
+:meth:`~MixedIntegerProgram.set_objective_coefficients` as the vectorized
+objective setter.  The batch path keeps model assembly off the Python
+bytecode interpreter; :mod:`repro.core.ip` builds its ~10^5-row models with a
+handful of batch calls.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.solvers.assembly import (
+    TripletConstraintBlock,
+    assign_coefficients,
+    checked_index_array,
+)
 
 
 class MILPError(RuntimeError):
@@ -75,11 +92,7 @@ class MixedIntegerProgram:
             np.ones(self.num_variables) if upper_bounds is None else np.asarray(upper_bounds, float)
         )
         self.integrality = np.zeros(self.num_variables, dtype=np.int64)
-        self._rows: List[int] = []
-        self._cols: List[int] = []
-        self._vals: List[float] = []
-        self._lhs: List[float] = []
-        self._rhs: List[float] = []
+        self._constraints = TripletConstraintBlock(self.num_variables, track_lower=True)
 
     # ------------------------------------------------------------------ #
     # Model building
@@ -87,6 +100,12 @@ class MixedIntegerProgram:
     def set_objective_coefficient(self, variable: int, coefficient: float) -> None:
         """Set the maximization objective coefficient of ``variable``."""
         self.objective[variable] = coefficient
+
+    def set_objective_coefficients(
+        self, variables: np.ndarray, coefficients: np.ndarray
+    ) -> None:
+        """Set (overwrite) the objective coefficients of many variables at once."""
+        assign_coefficients(self.objective, variables, coefficients)
 
     def add_objective(self, variable: int, coefficient: float) -> None:
         """Add ``coefficient`` to the objective coefficient of ``variable``."""
@@ -97,37 +116,65 @@ class MixedIntegerProgram:
         self.integrality[variable] = 1
 
     def mark_integer_block(self, variables: Sequence[int]) -> None:
-        """Mark every variable in ``variables`` as integer."""
-        for variable in variables:
-            self.integrality[variable] = 1
+        """Mark every variable in ``variables`` as integer (accepts any index array)."""
+        self.integrality[checked_index_array(variables, self.num_variables)] = 1
 
     def add_le_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> None:
         """Add ``sum coeff * x_var <= rhs``."""
-        self._add_range_constraint(terms, -np.inf, rhs)
+        self._constraints.add_row(terms, rhs, lhs=-np.inf)
 
     def add_eq_constraint(self, terms: Sequence[Tuple[int, float]], rhs: float) -> None:
         """Add ``sum coeff * x_var == rhs``."""
-        self._add_range_constraint(terms, rhs, rhs)
+        self._constraints.add_row(terms, rhs, lhs=rhs)
 
-    def _add_range_constraint(
-        self, terms: Sequence[Tuple[int, float]], lhs: float, rhs: float
-    ) -> None:
-        row = len(self._rhs)
-        for var, coeff in terms:
-            self._rows.append(row)
-            self._cols.append(int(var))
-            self._vals.append(float(coeff))
-        self._lhs.append(float(lhs))
-        self._rhs.append(float(rhs))
+    def add_le_constraints_batch(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Add ``len(rhs)`` <= constraints wholesale from triplet arrays.
+
+        ``rows`` holds batch-local 0-based row indices; the returned array
+        gives the global row ids of the appended constraints.
+        """
+        return self._constraints.add_rows(rows, cols, vals, rhs)
+
+    def add_eq_constraints_batch(
+        self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, rhs: np.ndarray
+    ) -> np.ndarray:
+        """Add ``len(rhs)`` == constraints wholesale from triplet arrays."""
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=float))
+        return self._constraints.add_rows(rows, cols, vals, rhs, lhs=rhs)
+
+    def add_range_constraints_batch(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> np.ndarray:
+        """Add ``len(upper)`` range constraints ``lower <= A x <= upper`` wholesale."""
+        return self._constraints.add_rows(rows, cols, vals, upper, lhs=lower)
 
     @property
     def num_constraints(self) -> int:
         """Number of linear constraints added so far."""
-        return len(self._rhs)
+        return self._constraints.num_rows
 
     # ------------------------------------------------------------------ #
     # Solving
     # ------------------------------------------------------------------ #
+    def build_constraints(
+        self,
+    ) -> Optional[Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]]:
+        """Assemble ``(A, lhs, rhs)`` for all rows, or ``None`` when there are none."""
+        if self._constraints.num_rows == 0:
+            return None
+        return (
+            self._constraints.matrix(),
+            self._constraints.lhs_vector(),
+            self._constraints.rhs_vector(),
+        )
+
     def solve(
         self,
         *,
@@ -137,14 +184,10 @@ class MixedIntegerProgram:
     ) -> MILPResult:
         """Solve with HiGHS MILP; raises :class:`MILPError` when no incumbent is found."""
         constraints = []
-        if self._rhs:
-            matrix = sparse.coo_matrix(
-                (self._vals, (self._rows, self._cols)),
-                shape=(len(self._rhs), self.num_variables),
-            ).tocsc()
-            constraints.append(
-                LinearConstraint(matrix, np.asarray(self._lhs), np.asarray(self._rhs))
-            )
+        assembled = self.build_constraints()
+        if assembled is not None:
+            matrix, lhs, rhs = assembled
+            constraints.append(LinearConstraint(matrix.tocsc(), lhs, rhs))
         options = {}
         if time_limit is not None:
             options["time_limit"] = float(time_limit)
@@ -185,27 +228,49 @@ def solve_milp(
     time_limit: Optional[float] = None,
     mip_rel_gap: Optional[float] = None,
 ) -> MILPResult:
-    """Functional one-shot MILP maximization interface."""
+    """Functional one-shot MILP maximization interface.
+
+    Raises :class:`MILPError` when ``constraint_lower`` / ``constraint_upper``
+    or ``integrality`` do not match the constraint matrix / objective shapes.
+    """
     objective = np.asarray(objective, dtype=float)
     n = objective.shape[0]
+    integrality = np.asarray(integrality, dtype=np.int64).ravel()
+    if integrality.shape[0] != n:
+        raise MILPError(
+            f"integrality has {integrality.shape[0]} entries but the objective "
+            f"has {n} variables"
+        )
     program = MixedIntegerProgram(
         n,
         lower_bounds=np.zeros(n) if lower_bounds is None else lower_bounds,
         upper_bounds=np.ones(n) if upper_bounds is None else upper_bounds,
     )
     program.objective = objective
-    program.integrality = np.asarray(integrality, dtype=np.int64)
+    program.integrality = integrality
     if constraint_matrix is not None:
         coo = sparse.coo_matrix(constraint_matrix)
-        program._rows = list(coo.row)
-        program._cols = list(coo.col)
-        program._vals = list(coo.data)
-        program._lhs = list(
-            np.full(coo.shape[0], -np.inf) if constraint_lower is None else constraint_lower
-        )
-        program._rhs = list(
-            np.full(coo.shape[0], np.inf) if constraint_upper is None else constraint_upper
-        )
+        num_rows = coo.shape[0]
+        if constraint_lower is None:
+            lower = np.full(num_rows, -np.inf)
+        else:
+            lower = np.asarray(constraint_lower, dtype=float).ravel()
+            if lower.shape[0] != num_rows:
+                raise MILPError(
+                    f"constraint_lower has {lower.shape[0]} entries but the "
+                    f"constraint matrix has {num_rows} rows"
+                )
+        if constraint_upper is None:
+            upper = np.full(num_rows, np.inf)
+        else:
+            upper = np.asarray(constraint_upper, dtype=float).ravel()
+            if upper.shape[0] != num_rows:
+                raise MILPError(
+                    f"constraint_upper has {upper.shape[0]} entries but the "
+                    f"constraint matrix has {num_rows} rows"
+                )
+        if num_rows:
+            program.add_range_constraints_batch(coo.row, coo.col, coo.data, lower, upper)
     return program.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
 
 

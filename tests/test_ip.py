@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.configuration import SAVGConfiguration
-from repro.core.ip import solve_exact
+from repro.core.ip import _decode_configuration, solve_exact
 from repro.core.objective import total_utility
 from repro.core.problem import SVGICInstance, SVGICSTInstance
 from repro.core.svgic_st import size_violation_report
@@ -69,6 +69,72 @@ class TestExactSolver:
             for u in range(instance.num_users)
         )
         assert result.objective == pytest.approx(expected)
+
+
+class TestDecodeRepair:
+    """The duplicate-repair path of ``_decode_configuration``.
+
+    Crafted x blocks make the per-slot argmax decode the same item twice;
+    the repair must pick the *best* unused candidate item — highest decoded
+    x mass at the offending slot, ties broken by preference.
+    """
+
+    @staticmethod
+    def _single_user_instance(preference):
+        preference = np.asarray(preference, dtype=float)
+        return SVGICInstance(
+            num_users=1,
+            num_items=preference.shape[0],
+            num_slots=2,
+            social_weight=0.5,
+            preference=preference[None, :],
+            edges=np.empty((0, 2), dtype=np.int64),
+            social=np.empty((0, preference.shape[0])),
+            name="decode-repair",
+        )
+
+    def test_repair_picks_highest_mass_unused_item(self):
+        instance = self._single_user_instance([0.1, 0.9, 0.5])
+        items = np.arange(3, dtype=np.int64)
+        x_block = np.zeros((1, 3, 2))
+        x_block[0, :, 0] = [1.0, 0.0, 0.0]  # slot 0 decodes item 0
+        x_block[0, :, 1] = [0.9, 0.4, 0.6]  # argmax duplicates item 0
+        config = _decode_configuration(instance, items, x_block.ravel())
+        # Unused candidates at slot 1 are {1, 2}; item 2 carries more mass
+        # (0.6 > 0.4).  The old first-unused rule would have picked item 1.
+        assert config.assignment[0, 0] == 0
+        assert config.assignment[0, 1] == 2
+        assert config.is_valid(instance)
+
+    def test_repair_breaks_mass_ties_by_preference(self):
+        instance = self._single_user_instance([0.1, 0.9, 0.5])
+        items = np.arange(3, dtype=np.int64)
+        x_block = np.zeros((1, 3, 2))
+        x_block[0, :, 0] = [1.0, 0.0, 0.0]
+        x_block[0, :, 1] = [0.9, 0.5, 0.5]  # items 1 and 2 tie on mass
+        config = _decode_configuration(instance, items, x_block.ravel())
+        assert config.assignment[0, 1] == 1  # preference 0.9 > 0.5
+        assert config.is_valid(instance)
+
+    def test_repair_maps_back_to_original_item_ids(self):
+        # With a pruned candidate set, the repair must return original ids.
+        instance = self._single_user_instance([0.1, 0.2, 0.9, 0.5, 0.3])
+        items = np.array([1, 2, 4], dtype=np.int64)
+        x_block = np.zeros((1, 3, 2))
+        x_block[0, :, 0] = [1.0, 0.0, 0.0]  # slot 0 decodes original item 1
+        x_block[0, :, 1] = [0.9, 0.1, 0.8]  # duplicate; best unused is ci=2
+        config = _decode_configuration(instance, items, x_block.ravel())
+        assert config.assignment[0, 0] == 1
+        assert config.assignment[0, 1] == 4
+
+    def test_clean_decode_untouched(self):
+        instance = self._single_user_instance([0.1, 0.9, 0.5])
+        items = np.arange(3, dtype=np.int64)
+        x_block = np.zeros((1, 3, 2))
+        x_block[0, :, 0] = [1.0, 0.0, 0.0]
+        x_block[0, :, 1] = [0.0, 1.0, 0.0]
+        config = _decode_configuration(instance, items, x_block.ravel())
+        assert config.assignment[0].tolist() == [0, 1]
 
 
 class TestExactSolverST:

@@ -56,6 +56,29 @@ class TestSubgroupMetrics:
         for key in ("intra_pct", "inter_pct", "co_display_pct", "alone_pct", "normalized_density"):
             assert key in data
 
+    def test_unassigned_endpoints_are_never_intra(self, tiny_instance):
+        # Regression: a pair whose endpoints are *both* unassigned at a slot
+        # used to be counted intra (None == None in the group lookup).
+        config = SAVGConfiguration.empty(
+            tiny_instance.num_users, tiny_instance.num_slots, tiny_instance.num_items
+        )
+        metrics = subgroup_metrics(tiny_instance, config)
+        assert metrics.intra_edge_ratio == pytest.approx(0.0)
+        assert metrics.inter_edge_ratio == pytest.approx(1.0)
+
+    def test_partial_configuration_counts_only_assigned_intra(self, tiny_instance):
+        # Users 0 and 1 co-displayed item 0 at slot 0; everything else
+        # unassigned.  tiny_instance has pairs {0-1, 1-2} and k=2, so exactly
+        # 1 of the 4 (pair, slot) combinations is intra.
+        config = SAVGConfiguration.empty(
+            tiny_instance.num_users, tiny_instance.num_slots, tiny_instance.num_items
+        )
+        config.assignment[0, 0] = 0
+        config.assignment[1, 0] = 0
+        metrics = subgroup_metrics(tiny_instance, config)
+        assert metrics.intra_edge_ratio == pytest.approx(0.25)
+        assert metrics.inter_edge_ratio == pytest.approx(0.75)
+
     def test_empty_social_network(self):
         from repro.data.adversarial import group_gap_instance
 

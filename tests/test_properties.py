@@ -12,7 +12,7 @@ from repro.core.configuration import SAVGConfiguration
 from repro.core.greedy import greedy_complete, top_k_preference_configuration
 from repro.core.lp import solve_lp_relaxation
 from repro.core.objective import evaluate, per_user_utility, total_utility
-from repro.core.problem import SVGICInstance
+from repro.core.problem import SVGICInstance, SVGICSTInstance
 from repro.metrics.regret import regret_ratios
 from repro.metrics.subgroups import subgroup_metrics
 
@@ -198,3 +198,27 @@ class TestAlgorithmInvariants:
         np.testing.assert_allclose(
             fractional.compact_factors.sum(axis=1), instance.num_slots, atol=1e-5
         )
+
+
+class TestObservation2:
+    """Observation 2: LP_SIMP and LP_SVGIC have the same optimal objective."""
+
+    @settings(**SETTINGS)
+    @given(svgic_instances())
+    def test_full_equals_simplified_on_svgic(self, instance):
+        simplified = solve_lp_relaxation(instance, formulation="simplified", prune_items=False)
+        full = solve_lp_relaxation(instance, formulation="full", prune_items=False)
+        assert full.objective == pytest.approx(simplified.objective, rel=1e-6, abs=1e-7)
+
+    @settings(**SETTINGS)
+    @given(svgic_instances(), st.integers(min_value=2, max_value=3))
+    def test_full_equals_simplified_on_st_with_size_relaxation(self, instance, cap):
+        # The simplified formulation carries the aggregate relaxation
+        # sum_u x̄[u,c] <= M·k, the full one the per-slot cap
+        # sum_u x[u,c,s] <= M; averaging/aggregating over slots maps either
+        # optimum onto a feasible solution of the other, so the equality of
+        # Observation 2 survives the size constraint.
+        st_instance = SVGICSTInstance.from_instance(instance, max_subgroup_size=cap)
+        simplified = solve_lp_relaxation(st_instance, formulation="simplified", prune_items=False)
+        full = solve_lp_relaxation(st_instance, formulation="full", prune_items=False)
+        assert full.objective == pytest.approx(simplified.objective, rel=1e-6, abs=1e-7)

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from scipy import sparse
 
 from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.solvers.linprog import LinearProgram, LPError, solve_linear_program
-from repro.solvers.milp import MixedIntegerProgram
+from repro.solvers.milp import MILPError, MixedIntegerProgram, solve_milp
 
 
 class TestLinearProgram:
@@ -62,6 +63,121 @@ class TestLinearProgram:
             LinearProgram(0)
 
 
+class TestBatchConstraintAPI:
+    """Batch triplet appends must match the per-term constraint path."""
+
+    def _scalar_lp(self) -> LinearProgram:
+        lp = LinearProgram(3)
+        lp.set_objective_coefficient(0, 1.0)
+        lp.set_objective_coefficient(1, 2.0)
+        lp.set_objective_coefficient(2, 0.5)
+        lp.add_le_constraint([(0, 1.0), (1, 1.0)], 1.5)
+        lp.add_le_constraint([(1, 2.0), (2, 1.0)], 2.0)
+        lp.add_eq_constraint([(0, 1.0), (2, 1.0)], 1.0)
+        return lp
+
+    def _batch_lp(self) -> LinearProgram:
+        lp = LinearProgram(3)
+        lp.set_objective_coefficients(np.arange(3), np.array([1.0, 2.0, 0.5]))
+        lp.add_le_constraints_batch(
+            rows=np.array([0, 0, 1, 1]),
+            cols=np.array([0, 1, 1, 2]),
+            vals=np.array([1.0, 1.0, 2.0, 1.0]),
+            rhs=np.array([1.5, 2.0]),
+        )
+        lp.add_eq_constraints_batch(
+            rows=np.array([0, 0]),
+            cols=np.array([0, 2]),
+            vals=np.array([1.0, 1.0]),
+            rhs=np.array([1.0]),
+        )
+        return lp
+
+    def test_batch_lp_matches_scalar_lp(self):
+        scalar, batch = self._scalar_lp(), self._batch_lp()
+        for a, b in zip(scalar.build_matrices(), batch.build_matrices()):
+            if isinstance(a, np.ndarray):
+                np.testing.assert_array_equal(a, b)
+            else:
+                assert (a != b).nnz == 0
+        assert scalar.solve().objective == pytest.approx(batch.solve().objective)
+
+    def test_mixed_scalar_and_batch_preserve_row_order(self):
+        lp = LinearProgram(2)
+        first = lp.add_le_constraint([(0, 1.0)], 1.0)
+        batch = lp.add_le_constraints_batch(
+            rows=np.array([0, 1]), cols=np.array([0, 1]),
+            vals=np.array([2.0, 3.0]), rhs=np.array([4.0, 5.0]),
+        )
+        last = lp.add_le_constraint([(1, 1.0)], 6.0)
+        assert first == 0
+        assert batch.tolist() == [1, 2]
+        assert last == 3
+        a_ub, b_ub, _, _ = lp.build_matrices()
+        np.testing.assert_array_equal(
+            a_ub.toarray(), [[1.0, 0.0], [2.0, 0.0], [0.0, 3.0], [0.0, 1.0]]
+        )
+        np.testing.assert_array_equal(b_ub, [1.0, 4.0, 5.0, 6.0])
+
+    def test_batch_rejects_mismatched_triplet_lengths(self):
+        lp = LinearProgram(2)
+        with pytest.raises(ValueError, match="identical lengths"):
+            lp.add_le_constraints_batch(
+                rows=np.array([0]), cols=np.array([0, 1]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+
+    def test_batch_rejects_out_of_range_rows(self):
+        lp = LinearProgram(2)
+        with pytest.raises(ValueError, match="row indices"):
+            lp.add_le_constraints_batch(
+                rows=np.array([1]), cols=np.array([0]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+
+    def test_batch_rejects_out_of_range_columns(self):
+        lp = LinearProgram(2)
+        with pytest.raises(ValueError, match="column indices"):
+            lp.add_le_constraints_batch(
+                rows=np.array([0]), cols=np.array([5]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+
+    def test_set_objective_coefficients_rejects_shape_mismatch(self):
+        lp = LinearProgram(3)
+        with pytest.raises(ValueError, match="identical shapes"):
+            lp.set_objective_coefficients(np.arange(2), np.ones(3))
+
+    def test_milp_batch_matches_scalar(self):
+        scalar = MixedIntegerProgram(3)
+        scalar.set_objective_coefficient(0, 5.0)
+        scalar.set_objective_coefficient(1, 4.0)
+        scalar.set_objective_coefficient(2, 3.0)
+        scalar.add_le_constraint([(0, 2.0), (1, 3.0), (2, 1.0)], 4.0)
+        scalar.add_eq_constraint([(0, 1.0), (2, 1.0)], 1.0)
+        scalar.mark_integer_block(range(3))
+
+        batch = MixedIntegerProgram(3)
+        batch.set_objective_coefficients(np.arange(3), np.array([5.0, 4.0, 3.0]))
+        batch.add_le_constraints_batch(
+            rows=np.zeros(3, dtype=np.int64), cols=np.arange(3),
+            vals=np.array([2.0, 3.0, 1.0]), rhs=np.array([4.0]),
+        )
+        batch.add_eq_constraints_batch(
+            rows=np.array([0, 0]), cols=np.array([0, 2]),
+            vals=np.array([1.0, 1.0]), rhs=np.array([1.0]),
+        )
+        batch.mark_integer_block(np.arange(3))
+
+        matrix_s, lhs_s, rhs_s = scalar.build_constraints()
+        matrix_b, lhs_b, rhs_b = batch.build_constraints()
+        assert (matrix_s != matrix_b).nnz == 0
+        np.testing.assert_array_equal(lhs_s, lhs_b)
+        np.testing.assert_array_equal(rhs_s, rhs_b)
+        np.testing.assert_array_equal(scalar.integrality, batch.integrality)
+        assert scalar.solve().objective == pytest.approx(batch.solve().objective)
+
+
 class TestMixedIntegerProgram:
     def build_knapsack(self):
         """max 5a + 4b + 3c  s.t.  2a + 3b + c <= 4, binary (optimum: a + c = 8)."""
@@ -94,6 +210,40 @@ class TestMixedIntegerProgram:
         # A tiny model always solves within any limit; just check the call path.
         result = self.build_knapsack().solve(time_limit=10.0)
         assert result.objective == pytest.approx(8.0)
+
+
+class TestSolveMilpFunctional:
+    """The one-shot ``solve_milp`` interface, including its shape validation."""
+
+    def knapsack_inputs(self):
+        matrix = sparse.coo_matrix(np.array([[2.0, 3.0, 1.0]]))
+        return np.array([5.0, 4.0, 3.0]), matrix, np.ones(3, dtype=np.int64)
+
+    def test_solves_knapsack(self):
+        objective, matrix, integrality = self.knapsack_inputs()
+        result = solve_milp(objective, matrix, None, np.array([4.0]), integrality)
+        assert result.objective == pytest.approx(8.0)
+
+    def test_no_constraints(self):
+        result = solve_milp(np.array([1.0, 2.0]), None, None, None, np.zeros(2))
+        assert result.objective == pytest.approx(3.0)
+
+    def test_rejects_constraint_lower_length_mismatch(self):
+        objective, matrix, integrality = self.knapsack_inputs()
+        # Regression: a 2-entry lower bound against a 1-row matrix used to be
+        # silently zipped away instead of raising.
+        with pytest.raises(MILPError, match="constraint_lower has 2 entries"):
+            solve_milp(objective, matrix, np.zeros(2), np.array([4.0]), integrality)
+
+    def test_rejects_constraint_upper_length_mismatch(self):
+        objective, matrix, integrality = self.knapsack_inputs()
+        with pytest.raises(MILPError, match="constraint_upper has 3 entries"):
+            solve_milp(objective, matrix, None, np.full(3, 4.0), integrality)
+
+    def test_rejects_integrality_length_mismatch(self):
+        objective, matrix, _ = self.knapsack_inputs()
+        with pytest.raises(MILPError, match="integrality has 2 entries"):
+            solve_milp(objective, matrix, None, np.array([4.0]), np.ones(2))
 
 
 class TestBranchAndBound:
