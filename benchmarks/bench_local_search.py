@@ -1,0 +1,124 @@
+"""Local-search benchmark: improver gain over raw AVG / AVG-D, and LP reuse.
+
+Two properties of the unified solver pipeline are measured and asserted:
+
+* **Improver gain** — running the registry's ``AVG+LS`` / ``AVG-D+LS``
+  variants (the base algorithm followed by the
+  :class:`~repro.core.pipeline.LocalSearchImprover` stage) on synthetic
+  Timik-like instances reports the relative utility gain of the 2-opt
+  delta-evaluated local search over the raw rounding output.  The script
+  exits non-zero if any improved run ends *below* its raw counterpart —
+  local search must never lose utility.
+* **LP reuse** — the whole line-up is dispatched through one shared
+  :class:`~repro.core.pipeline.SolveContext` per instance; the script
+  asserts the context performed exactly **one** simplified-LP relaxation
+  solve (every further request was a cache hit), i.e. the shared context
+  eliminates the redundant relaxation solves AVG and AVG-D used to pay.
+
+Run as a script (not collected by pytest — benchmarks use the ``bench_``
+prefix on purpose)::
+
+    PYTHONPATH=src python benchmarks/bench_local_search.py [--quick]
+
+``--quick`` shrinks the instance grid; it is the mode the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import SolveContext
+from repro.core.registry import run_registered
+from repro.data import datasets
+
+K_SLOTS = 3
+
+
+def _instance(num_users: int, num_items: int, seed: int):
+    return datasets.make_instance(
+        "timik", num_users=num_users, num_items=num_items, num_slots=K_SLOTS, seed=seed
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: fewer and smaller instances",
+    )
+    args = parser.parse_args(argv)
+
+    grid = [(10, 25, 0), (15, 40, 1)] if args.quick else [
+        (10, 25, 0), (15, 40, 1), (20, 60, 2), (30, 80, 3),
+    ]
+
+    header = (
+        f"{'n':>4} {'m':>4}  {'algo':<6} {'raw utility':>12} {'with LS':>10} "
+        f"{'gain %':>7} {'moves':>6} {'LS s':>7}"
+    )
+    print(f"Local-search improver gain (timik-like, k={K_SLOTS})")
+    print(header)
+    print("-" * len(header))
+
+    failures = 0
+    for n, m, seed in grid:
+        instance = _instance(n, m, seed)
+        context = SolveContext(instance)
+        for base_name in ("AVG", "AVG-D"):
+            raw = run_registered(
+                base_name, instance, context=context, rng=np.random.default_rng(seed)
+            )
+            start = time.perf_counter()
+            improved = run_registered(
+                f"{base_name}+LS",
+                instance,
+                context=context,
+                rng=np.random.default_rng(seed),
+            )
+            ls_seconds = time.perf_counter() - start
+            stage = improved.info["stages"]["local_search"]
+            gain = (improved.objective - raw.objective) / raw.objective * 100.0
+            print(
+                f"{n:>4} {m:>4}  {base_name:<6} {raw.objective:>12.4f} "
+                f"{improved.objective:>10.4f} {gain:>6.2f}% {stage['moves']:>6} "
+                f"{ls_seconds:>7.3f}"
+            )
+            if improved.objective < raw.objective - 1e-9:
+                print(f"FAIL: {base_name}+LS lost utility on n={n}, m={m}")
+                failures += 1
+            if stage["delta_drift"] > 1e-9:
+                print(f"FAIL: delta drift {stage['delta_drift']:.2e} exceeds 1e-9")
+                failures += 1
+
+        # Shared-context accounting: AVG, AVG+LS, AVG-D and AVG-D+LS all
+        # requested the simplified relaxation; exactly one solve happened.
+        stats = context.stats()
+        print(
+            f"{'':>4} {'':>4}  LP: {stats['lp_requests']} requests, "
+            f"{stats['lp_solves']} solve(s), {stats['lp_hits']} cache hit(s)"
+        )
+        if stats["lp_solves"] != 1:
+            print(
+                f"FAIL: shared SolveContext performed {stats['lp_solves']} LP solves "
+                f"(expected exactly 1)"
+            )
+            failures += 1
+
+    print()
+    if failures:
+        print(f"{failures} acceptance check(s) failed.")
+        return 1
+    print(
+        "All checks passed: local search never lost utility and the shared "
+        "SolveContext eliminated every redundant LP relaxation solve."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

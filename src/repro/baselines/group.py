@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.configuration import SAVGConfiguration
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 
 
@@ -105,6 +106,11 @@ def _configuration_from_itemset(
     return config
 
 
+@register_algorithm(
+    "GROUP",
+    tags=("ablation",),
+    description="Plain group approach: one bundled itemset for everyone",
+)
 def run_group(instance: SVGICInstance, **_ignored: object) -> AlgorithmResult:
     """Plain group approach: one itemset by aggregate value, shown to everyone."""
     start = time.perf_counter()
@@ -117,6 +123,11 @@ def run_group(instance: SVGICInstance, **_ignored: object) -> AlgorithmResult:
     )
 
 
+@register_algorithm(
+    "FMG",
+    tags=("paper", "baseline", "st"),
+    description="Fairness-aware group recommendation baseline",
+)
 def run_fmg(
     instance: SVGICInstance,
     *,

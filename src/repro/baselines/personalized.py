@@ -13,9 +13,15 @@ import time
 
 from repro.core.greedy import top_k_preference_configuration
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 
 
+@register_algorithm(
+    "PER",
+    tags=("paper", "baseline", "st"),
+    description="Personalized top-k baseline (optimal for lambda=0)",
+)
 def run_per(instance: SVGICInstance, **_ignored: object) -> AlgorithmResult:
     """Run the PER baseline on ``instance``.
 

@@ -30,6 +30,7 @@ import numpy as np
 from repro.baselines.group import _configuration_from_itemset, select_group_itemset
 from repro.core.configuration import SAVGConfiguration
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -133,6 +134,11 @@ def _subgroup_configuration(
 # --------------------------------------------------------------------------- #
 # Public entry points
 # --------------------------------------------------------------------------- #
+@register_algorithm(
+    "SDP",
+    tags=("paper", "baseline", "st"),
+    description="Static subgroups by friendship communities",
+)
 def run_sdp(
     instance: SVGICInstance,
     *,
@@ -156,6 +162,11 @@ def run_sdp(
     )
 
 
+@register_algorithm(
+    "GRF",
+    tags=("paper", "baseline", "st"),
+    description="Static subgroups by preference clustering",
+)
 def run_grf(
     instance: SVGICInstance,
     *,

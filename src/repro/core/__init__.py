@@ -36,6 +36,17 @@ Module map
 ``greedy``
     Per-user top-k selection (λ=0 optimum, PER baseline) and the greedy
     completion safety net.
+``pipeline``
+    The unified solver pipeline: :class:`~repro.core.pipeline.SolveContext`
+    (lazily cached per-instance shared state — one LP relaxation solve per
+    line-up) and the composable post-processing ``Stage`` API (greedy
+    completion, duplicate repair, and the delta-evaluated 2-opt
+    :class:`~repro.core.pipeline.LocalSearchImprover`).
+``registry``
+    The :func:`~repro.core.registry.register_algorithm` registry every
+    algorithm, baseline and extension variant self-registers into; the
+    experiment harness queries it by tag (``paper``, ``baseline``, ``st``,
+    ``extension``, ``local-search``).
 ``svgic_st``
     Feasibility checking and co-display accounting for the size constraint.
 ``result``
@@ -59,7 +70,23 @@ from repro.core.objective import (
     total_utility,
     weighted_total_utility,
 )
+from repro.core.pipeline import (
+    DuplicateRepairStage,
+    GreedyCompletionStage,
+    LocalSearchImprover,
+    SolveContext,
+    apply_stages,
+)
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    build_runners,
+    get_algorithm,
+    names_by_tag,
+    register_algorithm,
+    run_registered,
+)
 from repro.core.result import AlgorithmResult
 from repro.core.rounding import independent_rounding, run_independent_rounding
 from repro.core.svgic_st import is_feasible, size_violation_report
@@ -91,4 +118,16 @@ __all__ = [
     "greedy_complete",
     "is_feasible",
     "size_violation_report",
+    "SolveContext",
+    "GreedyCompletionStage",
+    "DuplicateRepairStage",
+    "LocalSearchImprover",
+    "apply_stages",
+    "AlgorithmSpec",
+    "register_algorithm",
+    "get_algorithm",
+    "algorithm_names",
+    "names_by_tag",
+    "build_runners",
+    "run_registered",
 ]

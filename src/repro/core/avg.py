@@ -33,7 +33,9 @@ from repro.core.configuration import UNASSIGNED, SAVGConfiguration
 from repro.core.greedy import greedy_complete, top_k_preference_configuration
 from repro.core.lp import FractionalSolution, solve_lp_relaxation
 from repro.core.objective import total_utility
+from repro.core.pipeline import LocalSearchImprover, SolveContext
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -275,11 +277,17 @@ def _uniform_sampling_loop(
             stats.idle_iterations += 1
 
 
+@register_algorithm(
+    "AVG",
+    tags=("paper", "st", "approximation"),
+    description="Randomized 4-approximation: LP relaxation + CSF rounding",
+)
 def run_avg(
     instance: SVGICInstance,
     fractional: Optional[FractionalSolution] = None,
     *,
     rng: SeedLike = None,
+    context: Optional[SolveContext] = None,
     repetitions: int = 1,
     advanced_sampling: bool = True,
     lp_formulation: str = "simplified",
@@ -294,6 +302,10 @@ def run_avg(
     fractional:
         Reuse a pre-computed fractional solution (e.g. shared across the
         repetitions of an experiment); solved on demand otherwise.
+    context:
+        Optional shared :class:`~repro.core.pipeline.SolveContext`; when
+        given (and ``fractional`` is not), the LP relaxation is obtained
+        through its cache so one solve serves the whole algorithm line-up.
     repetitions:
         Number of independent rounding passes; the best configuration is
         returned (Corollary 4.1: ``O(log n)`` repetitions give ``4 + ε``
@@ -315,13 +327,22 @@ def run_avg(
             optimal=True, info={"special_case": "lambda=0"},
         )
 
+    lp_cache_hit: Optional[bool] = None
     if fractional is None:
-        fractional = solve_lp_relaxation(
-            instance,
-            formulation=lp_formulation,
-            prune_items=prune_items,
-            max_candidate_items=max_candidate_items,
-        )
+        if context is not None:
+            fractional = context.fractional(
+                formulation=lp_formulation,
+                prune_items=prune_items,
+                max_candidate_items=max_candidate_items,
+            )
+            lp_cache_hit = context.last_fractional_was_hit
+        else:
+            fractional = solve_lp_relaxation(
+                instance,
+                formulation=lp_formulation,
+                prune_items=prune_items,
+                max_candidate_items=max_candidate_items,
+            )
 
     size_limit = (
         instance.max_subgroup_size if isinstance(instance, SVGICSTInstance) else None
@@ -351,23 +372,39 @@ def run_avg(
     assert best_config is not None
     best_config.validate(instance)
     elapsed = time.perf_counter() - start
+    info = {
+        "lp_objective": fractional.objective,
+        "lp_seconds": fractional.lp_seconds,
+        "lp_formulation": fractional.formulation,
+        "repetitions": repetitions,
+        "iterations": total_stats.iterations,
+        "idle_iterations": total_stats.idle_iterations,
+        "subgroups_formed": total_stats.subgroups_formed,
+        "fallback_assignments": total_stats.fallback_assignments,
+        "advanced_sampling": advanced_sampling,
+    }
+    if lp_cache_hit is not None:
+        info["lp_cache_hit"] = lp_cache_hit
     return AlgorithmResult.from_configuration(
-        algorithm_name,
-        instance,
-        best_config,
-        elapsed,
-        info={
-            "lp_objective": fractional.objective,
-            "lp_seconds": fractional.lp_seconds,
-            "lp_formulation": fractional.formulation,
-            "repetitions": repetitions,
-            "iterations": total_stats.iterations,
-            "idle_iterations": total_stats.idle_iterations,
-            "subgroups_formed": total_stats.subgroups_formed,
-            "fallback_assignments": total_stats.fallback_assignments,
-            "advanced_sampling": advanced_sampling,
-        },
+        algorithm_name, instance, best_config, elapsed, info=info,
     )
+
+
+@register_algorithm(
+    "AVG+LS",
+    tags=("local-search", "st"),
+    description="AVG followed by the 2-opt local-search improver",
+    stages=(LocalSearchImprover(),),
+)
+def _run_avg_with_local_search(
+    instance: SVGICInstance,
+    *,
+    rng: SeedLike = None,
+    context: Optional[SolveContext] = None,
+    **options: object,
+) -> AlgorithmResult:
+    """AVG with a delta-evaluated local-search stage applied by the dispatcher."""
+    return run_avg(instance, rng=rng, context=context, algorithm_name="AVG+LS", **options)
 
 
 __all__ = ["CSFStatistics", "csf_rounding", "run_avg"]

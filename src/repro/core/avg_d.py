@@ -15,7 +15,10 @@ The implementation evaluates the candidates for one ``(c, s)`` with a single
 descending sweep over eligible users, maintaining ``ALG`` and the LP mass
 removed from ``S_cur`` incrementally, and maintains ``OPT_LP(S_cur)`` as a
 running value across iterations — the practical counterpart of the paper's
-"reordering the computation" remark.
+"reordering the computation" remark.  The sweep itself is vectorized with
+cumulative sums over the ranked prefix (``_scan_prefixes``); the scalar
+per-member bookkeeping survives as ``_scan_prefixes_reference``, pinned by
+``tests/test_scan_prefix_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -28,7 +31,9 @@ import numpy as np
 from repro.core.configuration import UNASSIGNED, SAVGConfiguration
 from repro.core.greedy import greedy_complete, top_k_preference_configuration
 from repro.core.lp import FractionalSolution, solve_lp_relaxation
+from repro.core.pipeline import LocalSearchImprover, SolveContext
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.utils.rng import SeedLike
 
@@ -154,7 +159,89 @@ class _DeterministicRounder:
     def _scan_prefixes(
         self, item: int, slot: int, ranked: Sequence[int], capacity: int
     ) -> Optional[Tuple[float, int, int, List[int]]]:
-        """Sweep thresholds for one (item, slot); return the best (f, item, slot, members)."""
+        """Sweep thresholds for one (item, slot); return the best (f, item, slot, members).
+
+        Vectorized with cumulative-sum sweeps over the ranked prefix: the
+        per-member pair bookkeeping of the scalar implementation (preserved
+        as :meth:`_scan_prefixes_reference` and pinned by an equivalence
+        test) becomes three gather/scatter passes over the flattened
+        incident-pair arrays.
+
+        * A pair's ALG contribution ``pair_weight[pid, item]`` lands at the
+          prefix position of its *later* endpoint (the co-display exists once
+          both members joined).
+        * A pair's removed LP mass ``pair_mass[pid, slot]`` lands at the
+          position of its *earlier* endpoint; pairs whose other endpoint is
+          outside the ranked prefix count only if that endpoint's slot is
+          still open (matching the scalar ``slot_open`` check — ranked users
+          always have the slot open).
+        """
+        L = min(len(ranked), capacity)
+        if L <= 0:
+            return None
+        users = np.asarray(ranked[:L], dtype=np.int64)
+        n = self.instance.num_users
+        position = np.full(n, -1, dtype=np.int64)
+        position[users] = np.arange(L)
+
+        alg_events = np.zeros(L)
+        removed_events = np.zeros(L)
+        pid_lists = [self.pair_ids_by_user[int(u)] for u in users]
+        lengths = np.array([len(p) for p in pid_lists], dtype=np.int64)
+        if lengths.sum():
+            pid_flat = np.concatenate(
+                [np.asarray(p, dtype=np.int64) for p in pid_lists if p]
+            )
+            owner = np.repeat(np.arange(L), lengths)
+            endpoints = self.pairs[pid_flat]
+            owner_user = users[owner]
+            other = np.where(endpoints[:, 0] == owner_user, endpoints[:, 1], endpoints[:, 0])
+            other_pos = position[other]
+
+            # ALG: counted once, when the later endpoint joins the prefix.
+            alg_mask = (other_pos >= 0) & (other_pos < owner)
+            if np.any(alg_mask):
+                np.add.at(
+                    alg_events,
+                    owner[alg_mask],
+                    self.pair_weight[pid_flat[alg_mask], item],
+                )
+            # Removed LP mass: counted once, when the first endpoint joins;
+            # for partners outside the prefix, only while their slot is open.
+            open_other = self.config.assignment[other, slot] == UNASSIGNED
+            removed_mask = ((other_pos >= 0) & (owner < other_pos)) | (
+                (other_pos < 0) & open_other
+            )
+            if np.any(removed_mask):
+                np.add.at(
+                    removed_events,
+                    owner[removed_mask],
+                    self.pair_mass[pid_flat[removed_mask], slot],
+                )
+
+        alg_prefix = np.cumsum(self.pref_weight[users, item] + alg_events)
+        removed_prefix = np.cumsum(self.unit_mass[users, slot] + removed_events)
+        f = alg_prefix + self.r * (self.opt_cur - removed_prefix)
+
+        evaluate = np.ones(L, dtype=bool)
+        if self.advanced_sampling and L > 1:
+            # Only evaluate at the end of a tie block: thresholds inside a
+            # block produce the same target subgroup.  The last processed
+            # position is always evaluated (capacity or list exhausted).
+            factors = (
+                self.x2[users, item]
+                if self.slot_independent
+                else self.x3[users, item, slot]
+            )
+            evaluate[: L - 1] = factors[1:] < factors[: L - 1] - 1e-12
+        candidates = np.nonzero(evaluate)[0]
+        best = int(candidates[np.argmax(f[candidates])])
+        return float(f[best]), item, slot, [int(u) for u in users[: best + 1]]
+
+    def _scan_prefixes_reference(
+        self, item: int, slot: int, ranked: Sequence[int], capacity: int
+    ) -> Optional[Tuple[float, int, int, List[int]]]:
+        """Scalar per-member prefix sweep — the pinned reference for ``_scan_prefixes``."""
         alg_value = 0.0
         removed_mass = 0.0
         in_prefix: set = set()
@@ -235,6 +322,11 @@ class _DeterministicRounder:
         return self.config
 
 
+@register_algorithm(
+    "AVG-D",
+    tags=("paper", "st", "approximation"),
+    description="Deterministic 4-approximation: LP relaxation + derandomized CSF",
+)
 def run_avg_d(
     instance: SVGICInstance,
     fractional: Optional[FractionalSolution] = None,
@@ -245,6 +337,7 @@ def run_avg_d(
     prune_items: bool = True,
     max_candidate_items: Optional[int] = None,
     rng: SeedLike = None,  # accepted for interface uniformity; unused (deterministic)
+    context: Optional[SolveContext] = None,
     algorithm_name: str = "AVG-D",
 ) -> AlgorithmResult:
     """Run the deterministic AVG-D algorithm.
@@ -271,31 +364,58 @@ def run_avg_d(
             optimal=True, info={"special_case": "lambda=0"},
         )
 
+    lp_cache_hit: Optional[bool] = None
     if fractional is None:
-        fractional = solve_lp_relaxation(
-            instance,
-            formulation=lp_formulation,
-            prune_items=prune_items,
-            max_candidate_items=max_candidate_items,
-        )
+        if context is not None:
+            fractional = context.fractional(
+                formulation=lp_formulation,
+                prune_items=prune_items,
+                max_candidate_items=max_candidate_items,
+            )
+            lp_cache_hit = context.last_fractional_was_hit
+        else:
+            fractional = solve_lp_relaxation(
+                instance,
+                formulation=lp_formulation,
+                prune_items=prune_items,
+                max_candidate_items=max_candidate_items,
+            )
 
     rounder = _DeterministicRounder(instance, fractional, balancing_ratio, advanced_sampling)
     config = rounder.run()
     config.validate(instance)
     elapsed = time.perf_counter() - start
+    info = {
+        "lp_objective": fractional.objective,
+        "lp_seconds": fractional.lp_seconds,
+        "lp_formulation": fractional.formulation,
+        "balancing_ratio": balancing_ratio,
+        "iterations": rounder.iterations,
+        "advanced_sampling": advanced_sampling,
+    }
+    if lp_cache_hit is not None:
+        info["lp_cache_hit"] = lp_cache_hit
     return AlgorithmResult.from_configuration(
-        algorithm_name,
-        instance,
-        config,
-        elapsed,
-        info={
-            "lp_objective": fractional.objective,
-            "lp_seconds": fractional.lp_seconds,
-            "lp_formulation": fractional.formulation,
-            "balancing_ratio": balancing_ratio,
-            "iterations": rounder.iterations,
-            "advanced_sampling": advanced_sampling,
-        },
+        algorithm_name, instance, config, elapsed, info=info,
+    )
+
+
+@register_algorithm(
+    "AVG-D+LS",
+    tags=("local-search", "st"),
+    description="AVG-D followed by the 2-opt local-search improver",
+    stages=(LocalSearchImprover(),),
+)
+def _run_avg_d_with_local_search(
+    instance: SVGICInstance,
+    *,
+    rng: SeedLike = None,
+    context: Optional[SolveContext] = None,
+    **options: object,
+) -> AlgorithmResult:
+    """AVG-D with a delta-evaluated local-search stage applied by the dispatcher."""
+    return run_avg_d(
+        instance, rng=rng, context=context, algorithm_name="AVG-D+LS", **options
     )
 
 

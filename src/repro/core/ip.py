@@ -20,7 +20,9 @@ import numpy as np
 
 from repro.core.configuration import SAVGConfiguration
 from repro.core.lp import candidate_items
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.solvers.branch_and_bound import BranchAndBoundSolver
 from repro.solvers.milp import MixedIntegerProgram
@@ -163,6 +165,11 @@ def _decode_configuration(
     return config
 
 
+@register_algorithm(
+    "IP",
+    tags=("paper", "exact"),
+    description="Exact Section-3.3 integer program (HiGHS MILP / in-repo B&B)",
+)
 def solve_exact(
     instance: SVGICInstance,
     *,
@@ -171,6 +178,8 @@ def solve_exact(
     solver: str = "highs",
     prune_items: bool = True,
     max_candidate_items: Optional[int] = None,
+    rng: object = None,  # accepted for interface uniformity; unused (exact solver)
+    context: Optional[SolveContext] = None,
 ) -> AlgorithmResult:
     """Solve SVGIC (or SVGIC-ST) exactly with the Section-3.3 integer program.
 
@@ -190,7 +199,10 @@ def solve_exact(
     """
     start = time.perf_counter()
     if prune_items and instance.num_items > instance.num_slots:
-        items = candidate_items(instance, max_candidate_items)
+        if context is not None:
+            items = context.candidate_item_ids(max_candidate_items)
+        else:
+            items = candidate_items(instance, max_candidate_items)
     else:
         items = np.arange(instance.num_items, dtype=np.int64)
 

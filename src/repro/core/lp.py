@@ -79,6 +79,20 @@ class FractionalSolution:
         return instance.true_to_scaled_objective(self.objective)
 
 
+def candidate_scores(instance: SVGICInstance) -> np.ndarray:
+    """``(n, m)`` per-user item scores the candidate pruning ranks by.
+
+    ``score[u, c] = (1 - lambda) p(u, c) + lambda * (outgoing social mass of
+    u on c)`` — the single source of truth shared by :func:`candidate_items`
+    and :class:`repro.core.pipeline.SolveContext`.
+    """
+    lam = instance.social_weight
+    score = (1.0 - lam) * instance.preference.copy()
+    if instance.num_edges:
+        np.add.at(score, instance.edges[:, 0], lam * instance.social)
+    return score
+
+
 def candidate_items(
     instance: SVGICInstance,
     max_items: Optional[int] = None,
@@ -88,16 +102,12 @@ def candidate_items(
     """Select a candidate item subset for the LP (pruning step).
 
     The candidate set is the union over users of each user's top
-    ``k + per_user_extra`` items ranked by
-    ``(1 - lambda) p(u, c) + lambda * (outgoing social mass of u on c)``,
+    ``k + per_user_extra`` items ranked by :func:`candidate_scores`,
     optionally truncated to ``max_items`` by global score.  The returned
     array is sorted and always contains at least ``k`` items.
     """
     n, m, k = instance.num_users, instance.num_items, instance.num_slots
-    lam = instance.social_weight
-    score = (1.0 - lam) * instance.preference.copy()
-    if instance.num_edges:
-        np.add.at(score, instance.edges[:, 0], lam * instance.social)
+    score = candidate_scores(instance)
 
     per_user = min(m, k + max(0, per_user_extra))
     top = np.argpartition(-score, per_user - 1, axis=1)[:, :per_user]
@@ -357,4 +367,4 @@ def _solve_full(
     return slot, result.objective, result.solve_seconds
 
 
-__all__ = ["FractionalSolution", "candidate_items", "solve_lp_relaxation"]
+__all__ = ["FractionalSolution", "candidate_items", "candidate_scores", "solve_lp_relaxation"]

@@ -1,0 +1,544 @@
+"""Shared per-instance solve state and the composable post-processing stage API.
+
+This module is the backbone of the unified solver pipeline:
+
+* :class:`SolveContext` wraps one problem instance and lazily computes —
+  and caches — the state that several algorithms would otherwise each
+  recompute: the weighted preference/social tensors, the candidate-item
+  scores and sets, and most importantly the LP relaxation solutions keyed
+  by their parameters.  Running the whole paper line-up (AVG, AVG-D,
+  independent rounding, the approximation-guarantee checks) through one
+  context performs exactly one simplified-LP solve per instance; the
+  ``lp_requests`` / ``lp_solves`` counters make that property assertable.
+* The :class:`Stage` protocol describes composable post-processing passes
+  over a configuration.  :class:`GreedyCompletionStage` and
+  :class:`DuplicateRepairStage` package the existing feasibility repairs;
+  :class:`LocalSearchImprover` is a 2-opt improver over display units —
+  single-cell swaps plus pairwise exchanges — that rides on
+  :class:`~repro.core.objective.DeltaEvaluator` for ``O(degree)`` move
+  evaluation and runs best-improvement passes until a sweep yields no gain.
+
+The algorithm registry (:mod:`repro.core.registry`) dispatches through
+this module: a registered spec may carry a tuple of stages that are applied
+to the base algorithm's configuration, and every stage records provenance
+(what it did, how many moves it made) into the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.greedy import greedy_complete
+from repro.core.lp import (
+    FractionalSolution,
+    candidate_items,
+    candidate_scores,
+    solve_lp_relaxation,
+)
+from repro.core.objective import DeltaEvaluator, total_utility
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.utils.rng import SeedLike
+
+
+def instance_size_limit(instance: SVGICInstance) -> Optional[int]:
+    """The subgroup-size cap ``M`` for SVGIC-ST instances, ``None`` otherwise."""
+    if isinstance(instance, SVGICSTInstance):
+        return int(instance.max_subgroup_size)
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Shared per-instance solve state
+# --------------------------------------------------------------------------- #
+class SolveContext:
+    """Lazily computed, cached state shared by every algorithm run on one instance.
+
+    The context is cheap to construct; everything is computed on first
+    request.  LP relaxation solutions are cached by their full parameter key
+    (formulation, pruning, candidate cap, size-constraint handling), so AVG,
+    AVG-D, independent rounding and the LP upper bound used by the
+    approximation-guarantee checks all consume a single solve.
+
+    Attributes
+    ----------
+    lp_requests / lp_solves:
+        Counters over :meth:`fractional` calls: total requests and requests
+        that actually hit the LP solver.  ``lp_hits`` is the difference —
+        the number of redundant solves the cache eliminated.
+    """
+
+    def __init__(self, instance: SVGICInstance) -> None:
+        self.instance = instance
+        self.lp_requests = 0
+        self.lp_solves = 0
+        self.last_fractional_was_hit = False
+        self._lp_cache: Dict[Tuple[Any, ...], FractionalSolution] = {}
+        self._candidate_cache: Dict[Optional[int], np.ndarray] = {}
+        self._preference_weight: Optional[np.ndarray] = None
+        self._pair_weight: Optional[np.ndarray] = None
+        self._candidate_scores: Optional[np.ndarray] = None
+
+    # -- dense weighted tensors ---------------------------------------- #
+    @property
+    def preference_weight(self) -> np.ndarray:
+        """``(n, m)`` weighted preference ``(1 - lambda) * p(u, c)``."""
+        if self._preference_weight is None:
+            lam = self.instance.social_weight
+            self._preference_weight = (1.0 - lam) * self.instance.preference
+        return self._preference_weight
+
+    @property
+    def pair_weight(self) -> np.ndarray:
+        """``(P, m)`` weighted pair social utility ``lambda * w^c_e``."""
+        if self._pair_weight is None:
+            self._pair_weight = self.instance.social_weight * self.instance.pair_social
+        return self._pair_weight
+
+    @property
+    def candidate_scores(self) -> np.ndarray:
+        """``(n, m)`` per-user item scores the candidate pruning ranks by (cached)."""
+        if self._candidate_scores is None:
+            self._candidate_scores = candidate_scores(self.instance)
+        return self._candidate_scores
+
+    # -- candidate items ------------------------------------------------ #
+    def candidate_item_ids(self, max_items: Optional[int] = None) -> np.ndarray:
+        """Cached candidate item set (see :func:`repro.core.lp.candidate_items`)."""
+        key = None if max_items is None else int(max_items)
+        if key not in self._candidate_cache:
+            self._candidate_cache[key] = candidate_items(self.instance, max_items)
+        return self._candidate_cache[key]
+
+    # -- LP relaxations -------------------------------------------------- #
+    def fractional(
+        self,
+        *,
+        formulation: str = "simplified",
+        prune_items: bool = True,
+        max_candidate_items: Optional[int] = None,
+        enforce_size_constraint: bool = True,
+    ) -> FractionalSolution:
+        """The LP relaxation solution for the given parameters, solved at most once."""
+        key = (formulation, bool(prune_items), max_candidate_items, bool(enforce_size_constraint))
+        self.lp_requests += 1
+        cached = self._lp_cache.get(key)
+        if cached is not None:
+            self.last_fractional_was_hit = True
+            return cached
+        self.last_fractional_was_hit = False
+        self.lp_solves += 1
+        solution = solve_lp_relaxation(
+            self.instance,
+            formulation=formulation,
+            prune_items=prune_items,
+            max_candidate_items=max_candidate_items,
+            enforce_size_constraint=enforce_size_constraint,
+        )
+        self._lp_cache[key] = solution
+        return solution
+
+    @property
+    def lp_hits(self) -> int:
+        """Number of :meth:`fractional` requests served from the cache."""
+        return self.lp_requests - self.lp_solves
+
+    def lp_upper_bound(self) -> float:
+        """LP optimum of the default simplified relaxation — an upper bound on OPT."""
+        return self.fractional().objective
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for provenance reporting."""
+        return {
+            "lp_requests": self.lp_requests,
+            "lp_solves": self.lp_solves,
+            "lp_hits": self.lp_hits,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Stage protocol and basic stages
+# --------------------------------------------------------------------------- #
+@dataclass
+class StageOutcome:
+    """Result of applying one stage: the (new) configuration plus bookkeeping."""
+
+    configuration: SAVGConfiguration
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """A composable post-processing pass over an SAVG configuration.
+
+    Stages must never *decrease* the feasibility of a configuration: a valid
+    input must map to a valid output, and a partial input may only become
+    more complete.
+    """
+
+    name: str
+
+    def apply(
+        self,
+        instance: SVGICInstance,
+        configuration: SAVGConfiguration,
+        *,
+        context: Optional[SolveContext] = None,
+        rng: SeedLike = None,
+    ) -> StageOutcome:
+        """Apply the stage and return the outcome."""
+        ...
+
+
+class GreedyCompletionStage:
+    """Fill unassigned display units with each user's best unused item.
+
+    A thin stage wrapper around :func:`repro.core.greedy.greedy_complete`;
+    size-cap aware on SVGIC-ST instances.  A no-op on complete configurations.
+    """
+
+    name = "greedy_completion"
+
+    def apply(
+        self,
+        instance: SVGICInstance,
+        configuration: SAVGConfiguration,
+        *,
+        context: Optional[SolveContext] = None,
+        rng: SeedLike = None,
+    ) -> StageOutcome:
+        missing = int(np.count_nonzero(configuration.assignment == UNASSIGNED))
+        if missing == 0:
+            return StageOutcome(configuration, {"filled_units": 0})
+        completed = configuration.copy()
+        greedy_complete(instance, completed, size_limit=instance_size_limit(instance))
+        return StageOutcome(completed, {"filled_units": missing})
+
+
+class DuplicateRepairStage:
+    """Replace duplicate items within a user's row by the best unused item.
+
+    Keeps the first occurrence (lowest slot) of each duplicated item and
+    reassigns later occurrences by decreasing preference, honouring the
+    SVGIC-ST size cap where possible.  A no-op on duplication-free
+    configurations, so it is safe to chain unconditionally.
+    """
+
+    name = "duplicate_repair"
+
+    def apply(
+        self,
+        instance: SVGICInstance,
+        configuration: SAVGConfiguration,
+        *,
+        context: Optional[SolveContext] = None,
+        rng: SeedLike = None,
+    ) -> StageOutcome:
+        if configuration.satisfies_no_duplication():
+            return StageOutcome(configuration, {"repaired_units": 0})
+        repaired = configuration.copy()
+        size_limit = instance_size_limit(instance)
+        cell_counts: Dict[Tuple[int, int], int] = {}
+        if size_limit is not None:
+            for slot in range(repaired.num_slots):
+                for item, members in repaired.subgroups_at_slot(slot).items():
+                    cell_counts[(item, slot)] = len(members)
+        repairs = 0
+        for user in range(repaired.num_users):
+            row = repaired.assignment[user]
+            seen: set = set()
+            order: Optional[np.ndarray] = None
+            for slot in range(repaired.num_slots):
+                item = int(row[slot])
+                if item == UNASSIGNED:
+                    continue
+                if item not in seen:
+                    seen.add(item)
+                    continue
+                if order is None:  # one ranking serves every duplicate in this row
+                    order = np.argsort(-instance.preference[user], kind="stable")
+                replacement = None
+                for candidate in order:
+                    candidate = int(candidate)
+                    if candidate in seen:
+                        continue
+                    if (
+                        size_limit is not None
+                        and cell_counts.get((candidate, slot), 0) >= size_limit
+                    ):
+                        continue
+                    replacement = candidate
+                    break
+                if replacement is None:  # size cap saturated everywhere: relax it
+                    replacement = next(
+                        int(c) for c in order if int(c) not in seen
+                    )
+                if size_limit is not None:
+                    cell_counts[(item, slot)] = cell_counts.get((item, slot), 1) - 1
+                    cell_counts[(replacement, slot)] = (
+                        cell_counts.get((replacement, slot), 0) + 1
+                    )
+                row[slot] = replacement
+                seen.add(replacement)
+                repairs += 1
+        return StageOutcome(repaired, {"repaired_units": repairs})
+
+
+# --------------------------------------------------------------------------- #
+# Local search improver
+# --------------------------------------------------------------------------- #
+class LocalSearchImprover:
+    """2-opt local search over display units with delta-based move evaluation.
+
+    Two move families are explored:
+
+    * **single-cell swaps** — replace the item at one display unit
+      ``(user, slot)`` by any item not yet displayed to that user
+      (best-improvement: all candidate items are delta-evaluated and the
+      largest gain is executed);
+    * **pairwise exchanges** — swap the items of two display units, either
+      the two slots of one user (changing the co-display pattern) or the
+      same slot of a friend pair (size-cap neutral by construction).
+
+    Every move is evaluated with :class:`~repro.core.objective.DeltaEvaluator`
+    (``O(degree * k)`` per probe instead of a full re-evaluation), applied
+    speculatively and reverted exactly when not the best — delta updates are
+    arithmetically symmetric, so probing leaves the evaluator bit-identical.
+    Passes repeat until a full sweep accepts no move (or ``max_passes`` is
+    reached), which makes the utility trace monotonically non-decreasing:
+    accepted moves must gain more than ``tolerance``.
+
+    SVGIC-ST instances are handled natively: the objective includes the
+    teleportation term and moves that would overfill an ``(item, slot)``
+    subgroup beyond ``M`` are never proposed.
+    """
+
+    name = "local_search"
+
+    def __init__(
+        self,
+        *,
+        max_passes: int = 25,
+        pairwise: bool = True,
+        tolerance: float = 1e-9,
+        max_items: Optional[int] = None,
+    ) -> None:
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        self.max_passes = max_passes
+        self.pairwise = pairwise
+        self.tolerance = tolerance
+        self.max_items = max_items
+
+    # -- candidate items per instance ----------------------------------- #
+    def _candidate_items(
+        self, instance: SVGICInstance, context: Optional[SolveContext]
+    ) -> np.ndarray:
+        if self.max_items is None or self.max_items >= instance.num_items:
+            return np.arange(instance.num_items, dtype=np.int64)
+        if context is not None:
+            return context.candidate_item_ids(self.max_items)
+        return candidate_items(instance, self.max_items)
+
+    # -- move probes ----------------------------------------------------- #
+    @staticmethod
+    def _cell_counts(config: SAVGConfiguration) -> Dict[Tuple[int, int], int]:
+        counts: Dict[Tuple[int, int], int] = {}
+        for slot in range(config.num_slots):
+            for item, members in config.subgroups_at_slot(slot).items():
+                counts[(item, slot)] = len(members)
+        return counts
+
+    def _best_cell_move(
+        self,
+        evaluator: DeltaEvaluator,
+        user: int,
+        slot: int,
+        candidates: np.ndarray,
+        counts: Optional[Dict[Tuple[int, int], int]],
+        size_limit: Optional[int],
+    ) -> Tuple[Optional[int], float]:
+        """Best single-cell replacement for ``(user, slot)``; (None, 0) if no gain."""
+        old = int(evaluator.assignment[user, slot])
+        row = evaluator.assignment[user]
+        base = evaluator.total
+        best_gain = self.tolerance
+        best_item: Optional[int] = None
+        for item in candidates:
+            item = int(item)
+            if item == old or item in row:
+                continue
+            if (
+                size_limit is not None
+                and counts is not None
+                and counts.get((item, slot), 0) >= size_limit
+            ):
+                continue
+            gain = evaluator.set_cell(user, slot, item) - base
+            evaluator.set_cell(user, slot, old)  # exact revert
+            if gain > best_gain:
+                best_gain = gain
+                best_item = item
+        return best_item, (best_gain if best_item is not None else 0.0)
+
+    def _try_swap(
+        self,
+        evaluator: DeltaEvaluator,
+        units: Sequence[Tuple[int, int]],
+        items: Sequence[int],
+    ) -> float:
+        """Probe assigning ``items`` to ``units``; returns the gain, reverted if <= tol."""
+        base = evaluator.total
+        old = [int(evaluator.assignment[u, s]) for u, s in units]
+        for (u, s), item in zip(units, items):
+            evaluator.set_cell(u, s, item)
+        gain = evaluator.total - base
+        if gain <= self.tolerance:
+            for (u, s), item in zip(reversed(units), reversed(old)):
+                evaluator.set_cell(u, s, item)
+            return 0.0
+        return gain
+
+    # -- main loop -------------------------------------------------------- #
+    def apply(
+        self,
+        instance: SVGICInstance,
+        configuration: SAVGConfiguration,
+        *,
+        context: Optional[SolveContext] = None,
+        rng: SeedLike = None,
+    ) -> StageOutcome:
+        evaluator = DeltaEvaluator(instance, configuration)
+        size_limit = instance_size_limit(instance)
+        counts = self._cell_counts(configuration) if size_limit is not None else None
+        candidates = self._candidate_items(instance, context)
+        n, k = instance.num_users, instance.num_slots
+        pairs = instance.pairs
+
+        trace: List[float] = [evaluator.total]
+        moves = 0
+        passes = 0
+        while passes < self.max_passes:
+            passes += 1
+            improved = False
+
+            # Single-cell swaps, best-improvement per display unit.
+            for user in range(n):
+                for slot in range(k):
+                    item, _gain = self._best_cell_move(
+                        evaluator, user, slot, candidates, counts, size_limit
+                    )
+                    if item is None:
+                        continue
+                    old = int(evaluator.assignment[user, slot])
+                    evaluator.set_cell(user, slot, item)
+                    if counts is not None:
+                        if old != UNASSIGNED:
+                            counts[(old, slot)] = counts.get((old, slot), 1) - 1
+                        counts[(item, slot)] = counts.get((item, slot), 0) + 1
+                    moves += 1
+                    improved = True
+                    trace.append(evaluator.total)
+
+            if self.pairwise:
+                # Intra-user pairwise exchange: swap the items of two slots.
+                for user in range(n):
+                    for s1 in range(k - 1):
+                        for s2 in range(s1 + 1, k):
+                            a = int(evaluator.assignment[user, s1])
+                            b = int(evaluator.assignment[user, s2])
+                            if a == b or a == UNASSIGNED or b == UNASSIGNED:
+                                continue
+                            if size_limit is not None and counts is not None:
+                                if (
+                                    counts.get((b, s1), 0) >= size_limit
+                                    or counts.get((a, s2), 0) >= size_limit
+                                ):
+                                    continue
+                            gain = self._try_swap(
+                                evaluator, [(user, s1), (user, s2)], [b, a]
+                            )
+                            if gain > 0.0:
+                                if counts is not None:
+                                    counts[(a, s1)] = counts.get((a, s1), 1) - 1
+                                    counts[(b, s2)] = counts.get((b, s2), 1) - 1
+                                    counts[(b, s1)] = counts.get((b, s1), 0) + 1
+                                    counts[(a, s2)] = counts.get((a, s2), 0) + 1
+                                moves += 1
+                                improved = True
+                                trace.append(evaluator.total)
+
+                # Friend-pair exchange at one slot (size-cap neutral).
+                for pid in range(pairs.shape[0]):
+                    u, v = int(pairs[pid, 0]), int(pairs[pid, 1])
+                    for slot in range(k):
+                        a = int(evaluator.assignment[u, slot])
+                        b = int(evaluator.assignment[v, slot])
+                        if a == b or a == UNASSIGNED or b == UNASSIGNED:
+                            continue
+                        if b in evaluator.assignment[u] or a in evaluator.assignment[v]:
+                            continue  # would violate no-duplication
+                        gain = self._try_swap(
+                            evaluator, [(u, slot), (v, slot)], [b, a]
+                        )
+                        if gain > 0.0:
+                            moves += 1
+                            improved = True
+                            trace.append(evaluator.total)
+
+            if not improved:
+                break
+
+        final = evaluator.configuration()
+        delta_total = evaluator.total
+        drift = abs(delta_total - total_utility(instance, final))
+        return StageOutcome(
+            final,
+            {
+                "moves": moves,
+                "passes": passes,
+                "initial_utility": trace[0],
+                "final_utility": delta_total,
+                "utility_trace": trace,
+                "delta_drift": drift,
+            },
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Stage composition
+# --------------------------------------------------------------------------- #
+def apply_stages(
+    instance: SVGICInstance,
+    configuration: SAVGConfiguration,
+    stages: Sequence[Stage],
+    *,
+    context: Optional[SolveContext] = None,
+    rng: SeedLike = None,
+) -> Tuple[SAVGConfiguration, Tuple[str, ...], Dict[str, Any]]:
+    """Apply ``stages`` in order; returns (config, stage names, per-stage info)."""
+    info: Dict[str, Any] = {}
+    applied: List[str] = []
+    for stage in stages:
+        outcome = stage.apply(instance, configuration, context=context, rng=rng)
+        configuration = outcome.configuration
+        applied.append(stage.name)
+        info[stage.name] = outcome.info
+    return configuration, tuple(applied), info
+
+
+__all__ = [
+    "SolveContext",
+    "Stage",
+    "StageOutcome",
+    "GreedyCompletionStage",
+    "DuplicateRepairStage",
+    "LocalSearchImprover",
+    "apply_stages",
+    "instance_size_limit",
+]

@@ -8,7 +8,7 @@ Having one result type keeps the experiment harness simple: every algorithm
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.configuration import SAVGConfiguration
 from repro.core.objective import UtilityBreakdown, evaluate, evaluate_st
@@ -33,6 +33,13 @@ class AlgorithmResult:
         ``True`` when the algorithm proved optimality (exact solvers only).
     info:
         Free-form extras (LP objective, iteration counts, solver gap, ...).
+    stages_applied:
+        Names of the post-processing stages applied by the pipeline dispatch
+        (greedy completion, duplicate repair, local search, ...) in order.
+    provenance:
+        Pipeline bookkeeping: registry name, LP cache hit/miss counters of
+        the shared :class:`~repro.core.pipeline.SolveContext`, improver move
+        counts.  Empty for direct ``run_*`` calls.
     """
 
     algorithm: str
@@ -41,6 +48,8 @@ class AlgorithmResult:
     seconds: float
     optimal: bool = False
     info: Dict[str, Any] = field(default_factory=dict)
+    stages_applied: Tuple[str, ...] = ()
+    provenance: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def objective(self) -> float:
@@ -60,6 +69,8 @@ class AlgorithmResult:
         *,
         optimal: bool = False,
         info: Optional[Dict[str, Any]] = None,
+        stages_applied: Tuple[str, ...] = (),
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> "AlgorithmResult":
         """Evaluate ``configuration`` on ``instance`` and wrap it in a result."""
         if isinstance(instance, SVGICSTInstance):
@@ -73,6 +84,8 @@ class AlgorithmResult:
             seconds=seconds,
             optimal=optimal,
             info=dict(info or {}),
+            stages_applied=tuple(stages_applied),
+            provenance=dict(provenance or {}),
         )
 
 

@@ -18,7 +18,9 @@ import numpy as np
 
 from repro.core.configuration import UNASSIGNED, SAVGConfiguration
 from repro.core.lp import FractionalSolution, solve_lp_relaxation
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.utils.rng import SeedLike, ensure_rng
 
@@ -99,11 +101,17 @@ def _best_unused_item(instance: SVGICInstance, config: SAVGConfiguration, user: 
     raise RuntimeError("no unused item available; k > m should have been rejected earlier")
 
 
+@register_algorithm(
+    "IND",
+    tags=("ablation", "rounding"),
+    description="Independent LP rounding (Algorithm 1) — the Lemma-3 negative baseline",
+)
 def run_independent_rounding(
     instance: SVGICInstance,
     fractional: Optional[FractionalSolution] = None,
     *,
     rng: SeedLike = None,
+    context: Optional[SolveContext] = None,
     repair: bool = True,
     prune_items: bool = True,
     max_candidate_items: Optional[int] = None,
@@ -111,9 +119,14 @@ def run_independent_rounding(
     """End-to-end LP solve + independent rounding, packaged as an :class:`AlgorithmResult`."""
     start = time.perf_counter()
     if fractional is None:
-        fractional = solve_lp_relaxation(
-            instance, prune_items=prune_items, max_candidate_items=max_candidate_items
-        )
+        if context is not None:
+            fractional = context.fractional(
+                prune_items=prune_items, max_candidate_items=max_candidate_items
+            )
+        else:
+            fractional = solve_lp_relaxation(
+                instance, prune_items=prune_items, max_candidate_items=max_candidate_items
+            )
     outcome = independent_rounding(instance, fractional, rng=rng, repair=repair)
     elapsed = time.perf_counter() - start
     return AlgorithmResult.from_configuration(

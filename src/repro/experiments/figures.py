@@ -1,10 +1,16 @@
 """One experiment function per table/figure of the paper's evaluation (Section 6).
 
 Every function returns an :class:`repro.experiments.harness.ExperimentResult`
-whose rows contain the same series the paper plots.  Default parameters are
-laptop-scale (the paper used m = 10,000 items and a 1 TB server); pass larger
-values to approach the original scale.  The benchmark modules under
-``benchmarks/`` call these functions and print the resulting tables.
+whose rows contain the same series the paper plots.  Algorithm line-ups come
+from the registry (:mod:`repro.core.registry`) — ``default_algorithms()``
+resolves the ``paper``-tagged specs and ``_st_baselines`` the
+``baseline``+``st``-tagged ones — and each instance is solved through one
+shared :class:`~repro.core.pipeline.SolveContext`, so e.g. the full
+``figure3_small_datasets`` line-up performs a single simplified-LP
+relaxation solve per instance.  Default parameters are laptop-scale (the
+paper used m = 10,000 items and a 1 TB server); pass larger values to
+approach the original scale.  The benchmark modules under ``benchmarks/``
+call these functions and print the resulting tables.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.core.ip import solve_exact
 from repro.core.lp import solve_lp_relaxation
 from repro.core.objective import total_utility
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core import registry
 from repro.core.rounding import run_independent_rounding
 from repro.core.svgic_st import size_violation_report
 from repro.data import adversarial, datasets
@@ -460,12 +467,12 @@ def figure12_r_sensitivity(
 # Figures 13-15 — SVGIC-ST (size-constraint violations and utility)
 # --------------------------------------------------------------------------- #
 def _st_baselines(prepartition: bool) -> Dict[str, object]:
-    return {
-        "PER": run_per,
-        "FMG": run_fmg,
-        "SDP": run_sdp,
-        "GRF": run_grf,
-    }
+    """The four ST-safe baseline recommenders, resolved from the registry.
+
+    ``build_runners`` raises on unknown names, so a registration regression
+    fails fast instead of silently dropping a figure series.
+    """
+    return registry.build_runners(["PER", "FMG", "SDP", "GRF"])
 
 
 def figure13_st_violations(

@@ -1,9 +1,20 @@
-"""Experiment harness: algorithm registry, sweeps and result tables.
+"""Experiment harness: registry-dispatched line-ups, sweeps and result tables.
 
-Everything in Section 6 follows the same pattern — build instances, run a set
-of algorithms, collect utility / time / subgroup metrics.  The harness
+Everything in Section 6 follows the same pattern — build instances, run a
+set of algorithms, collect utility / time / subgroup metrics.  The harness
 factors that pattern out so each figure in :mod:`repro.experiments.figures`
 is a short declarative function.
+
+Algorithm line-ups are *queries over the registry*
+(:mod:`repro.core.registry`): :func:`default_algorithms` resolves the
+paper's seven-way comparison to registered specs instead of hand-built
+lambdas, and any registered name (baselines, ``extension``-tagged variants,
+local-search hybrids) can be mixed into the same dictionary.
+:func:`run_algorithms` builds one shared
+:class:`~repro.core.pipeline.SolveContext` per instance and threads it
+through every context-aware runner, so the whole line-up performs a single
+simplified-LP relaxation solve; the context's hit counters land in each
+report's ``info`` for provenance.
 
 Metric computation sits on the vectorized objective engine
 (:mod:`repro.core.objective`), so the per-sweep-point cost is dominated by
@@ -17,18 +28,17 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 import numpy as np
 
-from repro.baselines.group import run_fmg
-from repro.baselines.personalized import run_per
-from repro.baselines.subgroup import run_grf, run_sdp
-from repro.core.avg import run_avg
-from repro.core.avg_d import run_avg_d
-from repro.core.ip import solve_exact
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import build_runners, names_by_tag
 from repro.core.result import AlgorithmResult
 from repro.metrics.evaluation import EvaluationReport, evaluate_result, evaluation_table
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
 
 AlgorithmRunner = Callable[..., AlgorithmResult]
+
+#: Display order of the paper's line-up (registry tags are unordered sets).
+_PAPER_ORDER = ("AVG", "AVG-D", "PER", "FMG", "SDP", "GRF", "IP")
 
 
 def default_algorithms(
@@ -38,21 +48,23 @@ def default_algorithms(
     avg_repetitions: int = 3,
     avg_d_ratio: float = 1.0,
 ) -> Dict[str, AlgorithmRunner]:
-    """The paper's algorithm line-up: AVG, AVG-D, PER, FMG, SDP, GRF (+ optional IP)."""
+    """The paper's algorithm line-up: AVG, AVG-D, PER, FMG, SDP, GRF (+ optional IP).
 
-    algorithms: Dict[str, AlgorithmRunner] = {
-        "AVG": lambda instance, rng=None: run_avg(instance, rng=rng, repetitions=avg_repetitions),
-        "AVG-D": lambda instance, rng=None: run_avg_d(instance, balancing_ratio=avg_d_ratio),
-        "PER": lambda instance, rng=None: run_per(instance),
-        "FMG": lambda instance, rng=None: run_fmg(instance),
-        "SDP": lambda instance, rng=None: run_sdp(instance),
-        "GRF": lambda instance, rng=None: run_grf(instance, rng=rng),
+    A thin registry query: every name is resolved from the ``paper`` tag and
+    bound with the experiment-level defaults (AVG repetitions, AVG-D
+    balancing ratio, IP time limit).  The returned runners accept an
+    optional shared solve context (``runner(instance, rng=..., context=...)``).
+    """
+    tagged = set(names_by_tag("paper"))
+    names = [name for name in _PAPER_ORDER if name in tagged]
+    if not include_ip:
+        names.remove("IP")
+    overrides = {
+        "AVG": {"repetitions": avg_repetitions},
+        "AVG-D": {"balancing_ratio": avg_d_ratio},
+        "IP": {"time_limit": ip_time_limit},
     }
-    if include_ip:
-        algorithms["IP"] = lambda instance, rng=None: solve_exact(
-            instance, time_limit=ip_time_limit
-        )
-    return algorithms
+    return build_runners(names, overrides)
 
 
 def run_algorithms(
@@ -60,12 +72,25 @@ def run_algorithms(
     algorithms: Mapping[str, AlgorithmRunner],
     *,
     seed: SeedLike = None,
+    context: Optional[SolveContext] = None,
 ) -> Dict[str, EvaluationReport]:
-    """Run every algorithm on ``instance`` and evaluate all Section-6 metrics."""
+    """Run every algorithm on ``instance`` and evaluate all Section-6 metrics.
+
+    One :class:`SolveContext` (created here unless supplied) is shared by
+    all context-aware runners, so redundant LP relaxation solves are
+    eliminated across the line-up.  Legacy runners — plain callables without
+    the ``accepts_context`` marker — are still invoked as
+    ``runner(instance, rng=...)``.
+    """
     generator = ensure_rng(seed)
+    if context is None:
+        context = SolveContext(instance)
     reports: Dict[str, EvaluationReport] = {}
     for name, runner in algorithms.items():
-        result = runner(instance, rng=generator)
+        if getattr(runner, "accepts_context", False):
+            result = runner(instance, rng=generator, context=context)
+        else:
+            result = runner(instance, rng=generator)
         reports[name] = evaluate_result(instance, result)
     return reports
 

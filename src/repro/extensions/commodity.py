@@ -16,8 +16,11 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.avg_d import run_avg_d
 from repro.core.objective import weighted_total_utility
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 
 
@@ -65,4 +68,40 @@ def solve_with_commodity_values(
     return result
 
 
-__all__ = ["apply_commodity_values", "solve_with_commodity_values"]
+def default_commodity_values(instance: SVGICInstance) -> np.ndarray:
+    """Deterministic per-item commodity values derived from global popularity.
+
+    Items preferred by many users are assumed to carry a higher margin:
+    ``omega_c = 0.5 + mean_u p(u, c)`` keeps every weight positive and the
+    transformation well-conditioned on sparse preference matrices.
+    """
+    return 0.5 + instance.preference.mean(axis=0)
+
+
+@register_algorithm(
+    "AVG-D+commodity",
+    tags=("extension",),
+    description="AVG-D on the commodity-value weighted instance (Section 5A)",
+)
+def _run_commodity_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D maximizing expected profit under default values.
+
+    The inner algorithm runs on the *transformed* instance, so the shared
+    solve context (keyed to the original instance) is intentionally not
+    forwarded.
+    """
+    values = default_commodity_values(instance)
+    return solve_with_commodity_values(instance, values, run_avg_d, **options)
+
+
+__all__ = [
+    "apply_commodity_values",
+    "solve_with_commodity_values",
+    "default_commodity_values",
+]

@@ -19,6 +19,7 @@ implements exactly that incremental policy:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +27,9 @@ import numpy as np
 
 from repro.core.configuration import UNASSIGNED, SAVGConfiguration
 from repro.core.objective import total_utility
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 
 
@@ -157,6 +160,38 @@ class DynamicSession:
                 if item in my_items and my_items[item] != slot:
                     suggestions.append((int(friend), item, slot))
         return suggestions
+
+
+@register_algorithm(
+    "AVG-D+dynamic",
+    tags=("extension",),
+    description="AVG-D refined by the dynamic-session single-user exchange pass (5F)",
+)
+def _run_dynamic_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    max_rounds: int = 1,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D plus one incremental local-search round per user."""
+    from repro.core.avg_d import run_avg_d
+
+    start = time.perf_counter()
+    base = run_avg_d(instance, context=context, **options)
+    session = DynamicSession(instance, base.configuration)
+    improved_users = 0
+    for user in range(instance.num_users):
+        if session.local_search(user, max_rounds=max_rounds):
+            improved_users += 1
+    return AlgorithmResult.from_configuration(
+        "AVG-D+dynamic",
+        instance,
+        session.configuration,
+        time.perf_counter() - start,
+        info={**base.info, "improved_users": improved_users},
+    )
 
 
 __all__ = ["DynamicSession", "DynamicEvent"]

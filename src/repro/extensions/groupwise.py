@@ -19,13 +19,17 @@ aggregators that derive ``tau(u, V, c)`` from the pairwise inputs:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, Protocol, Sequence, Tuple
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
+from repro.core.result import AlgorithmResult
 
 
 class GroupwiseSocialModel(Protocol):
@@ -122,6 +126,38 @@ def groupwise_total_utility(
         item = int(config.assignment[user, slot])
         total += lam * model.utility(instance, user, friends, item)
     return total
+
+
+@register_algorithm(
+    "AVG-D+groupwise",
+    tags=("extension",),
+    description="AVG-D scored under the diminishing-returns group-wise model (5D)",
+)
+def _run_groupwise_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    decay: float = 0.8,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D configuration evaluated with group-wise social benefits."""
+    from repro.core.avg_d import run_avg_d
+
+    start = time.perf_counter()
+    base = run_avg_d(instance, context=context, **options)
+    model = DiminishingReturnsModel(decay=decay)
+    return AlgorithmResult.from_configuration(
+        "AVG-D+groupwise",
+        instance,
+        base.configuration,
+        time.perf_counter() - start,
+        info={
+            **base.info,
+            "groupwise_utility": groupwise_total_utility(instance, base.configuration, model),
+            "groupwise_decay": decay,
+        },
+    )
 
 
 __all__ = [

@@ -14,13 +14,17 @@ the no-duplication-across-views rule allow.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
+from repro.core.result import AlgorithmResult
 
 
 @dataclass
@@ -131,6 +135,43 @@ def multi_view_utility(instance: SVGICInstance, mvd: MultiViewConfiguration) -> 
                     total += lam * float(instance.social[e, item])
                     counted.add(item)
     return total
+
+
+@register_algorithm(
+    "AVG-D+multiview",
+    tags=("extension",),
+    description="AVG-D primary configuration extended with greedy group views (5C)",
+)
+def _run_multi_view_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    views_per_slot: int = 2,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D primary views plus the greedy MVD extension.
+
+    The returned configuration is the (feasible) primary assignment; the MVD
+    statistics land in ``info``.
+    """
+    from repro.core.avg_d import run_avg_d
+
+    start = time.perf_counter()
+    base = run_avg_d(instance, context=context, **options)
+    mvd = extend_to_multi_view(instance, base.configuration, views_per_slot=views_per_slot)
+    return AlgorithmResult.from_configuration(
+        "AVG-D+multiview",
+        instance,
+        base.configuration,
+        time.perf_counter() - start,
+        info={
+            **base.info,
+            "multi_view_utility": multi_view_utility(instance, mvd),
+            "group_views": sum(len(v) for v in mvd.group_views.values()),
+            "views_per_slot": views_per_slot,
+        },
+    )
 
 
 __all__ = ["MultiViewConfiguration", "extend_to_multi_view", "multi_view_utility"]

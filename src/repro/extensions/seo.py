@@ -23,13 +23,16 @@ back into per-round event assignments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.avg_d import run_avg_d
-from repro.core.problem import SVGICSTInstance
+from repro.core.pipeline import SolveContext
+from repro.core.problem import SVGICInstance, SVGICSTInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 from repro.core.svgic_st import size_violation_report
 
@@ -125,6 +128,60 @@ def organize_events(
         total_utility=result.objective,
         feasible=report.feasible,
         algorithm=result.algorithm,
+    )
+
+
+@register_algorithm(
+    "SEO",
+    tags=("extension", "st"),
+    description="Social Event Organization via the SVGIC-ST reduction (Section 4.4)",
+)
+def _run_seo_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    capacity: Optional[int] = None,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: treat items as events and organize attendance rounds.
+
+    ``capacity`` defaults to the instance's own subgroup-size cap (SVGIC-ST)
+    or to the vacuous ``n`` otherwise.  The inner AVG-D runs on the derived
+    SEO/SVGIC-ST instance, so the shared context is not forwarded.
+    """
+    start = time.perf_counter()
+    if capacity is None:
+        if isinstance(instance, SVGICSTInstance):
+            capacity = instance.max_subgroup_size
+        else:
+            capacity = instance.num_users
+    seo = SEOInstance(
+        num_attendees=instance.num_users,
+        num_events=instance.num_items,
+        num_rounds=instance.num_slots,
+        affinity=instance.preference,
+        friendships=instance.edges,
+        synergy=instance.social,
+        capacity=capacity,
+        social_weight=instance.social_weight,
+        event_names=instance.item_labels,
+        attendee_names=instance.user_labels,
+    )
+    svgic = seo.to_svgic_st()
+    result = run_avg_d(svgic, **options)
+    plan = organize_events(seo, algorithm=lambda _inst, **_kw: result)
+    return AlgorithmResult.from_configuration(
+        "SEO",
+        instance,
+        result.configuration,
+        time.perf_counter() - start,
+        info={
+            **result.info,
+            "events_used": len(plan.assignments),
+            "plan_feasible": plan.feasible,
+            "capacity": capacity,
+        },
     )
 
 

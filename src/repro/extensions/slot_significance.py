@@ -17,13 +17,16 @@ with that reordering.
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.avg_d import run_avg_d
 from repro.core.configuration import SAVGConfiguration, UNASSIGNED
 from repro.core.objective import weighted_total_utility
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
 from repro.core.result import AlgorithmResult
 
 
@@ -108,6 +111,25 @@ def solve_with_slot_significance(
         reordered,
         elapsed,
         info={**inner.info, "weighted_utility": weighted},
+    )
+
+
+@register_algorithm(
+    "AVG-D+slots",
+    tags=("extension",),
+    description="AVG-D with the optimal slot reordering for aisle significance (5B)",
+)
+def _run_slot_significance_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D plus the rearrangement-inequality slot ordering."""
+    significance = aisle_significance(instance.num_slots)
+    return solve_with_slot_significance(
+        instance, significance, run_avg_d, context=context, **options
     )
 
 

@@ -14,13 +14,17 @@ post-processing step (a small travelling-salesman-like greedy + 2-opt).
 
 from __future__ import annotations
 
+import time
 from itertools import combinations
-from typing import List, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.core.configuration import SAVGConfiguration
+from repro.core.pipeline import SolveContext
 from repro.core.problem import SVGICInstance
+from repro.core.registry import register_algorithm
+from repro.core.result import AlgorithmResult
 
 
 def _co_display_pairs_at_slot(
@@ -106,6 +110,35 @@ def smooth_subgroup_changes(
         assignment=config.assignment[:, order].copy(), num_items=config.num_items
     )
     return reordered
+
+
+@register_algorithm(
+    "AVG-D+smooth",
+    tags=("extension",),
+    description="AVG-D with slots reordered to minimize subgroup fluctuation (5E)",
+)
+def _run_smoothing_variant(
+    instance: SVGICInstance,
+    *,
+    context: Optional[SolveContext] = None,
+    rng: object = None,
+    **options: object,
+) -> AlgorithmResult:
+    """Registry adapter: AVG-D followed by the free slot-reordering smoothing pass."""
+    from repro.core.avg_d import run_avg_d
+
+    start = time.perf_counter()
+    base = run_avg_d(instance, context=context, **options)
+    before = subgroup_change_cost(instance, base.configuration)
+    smoothed = smooth_subgroup_changes(instance, base.configuration)
+    after = subgroup_change_cost(instance, smoothed)
+    return AlgorithmResult.from_configuration(
+        "AVG-D+smooth",
+        instance,
+        smoothed,
+        time.perf_counter() - start,
+        info={**base.info, "change_cost_before": before, "change_cost_after": after},
+    )
 
 
 __all__ = [

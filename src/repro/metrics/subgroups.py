@@ -21,7 +21,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.core.configuration import SAVGConfiguration
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
 from repro.core.problem import SVGICInstance
 
 
@@ -63,52 +63,61 @@ def _graph_density(num_nodes: int, num_pairs: int) -> float:
 
 
 def subgroup_metrics(instance: SVGICInstance, config: SAVGConfiguration) -> SubgroupMetrics:
-    """Compute the Section-6.5 subgroup metrics of ``config`` on ``instance``."""
+    """Compute the Section-6.5 subgroup metrics of ``config`` on ``instance``.
+
+    Fully vectorized: intra/inter and co-display counts are membership
+    lookups over the ``(P, k)`` gathered endpoint assignments (one pass over
+    the pair index arrays instead of per-slot/per-pair Python loops), and the
+    per-slot subgroup structure comes from ``np.unique`` over each assignment
+    column.  An unassigned endpoint belongs to no subgroup, so a pair with
+    one can never be intra at that slot — it counts as inter (the PR 2
+    semantics).
+    """
     n, k = instance.num_users, instance.num_slots
     pairs = instance.pairs
     num_pairs = pairs.shape[0]
-    pair_set = {(int(u), int(v)) for u, v in pairs}
 
     base_density = _graph_density(n, num_pairs)
 
-    intra_total = 0
-    inter_total = 0
+    # Pairwise structure over all slots at once: (P, k) endpoint gathers.
+    if num_pairs:
+        head = config.assignment[pairs[:, 0]]  # (P, k)
+        tail = config.assignment[pairs[:, 1]]  # (P, k)
+        intra_mask = (head == tail) & (head != UNASSIGNED)
+        intra_total = int(intra_mask.sum())
+        co_display = int(np.any(intra_mask, axis=1).sum())
+    else:
+        intra_mask = np.zeros((0, k), dtype=bool)
+        intra_total = 0
+        co_display = 0
+    inter_total = num_pairs * k - intra_total
+
+    not_alone = np.zeros(n, dtype=bool)
     density_samples: List[float] = []
-    alone_flags = np.ones(n, dtype=bool)
     subgroup_sizes: List[int] = []
     subgroup_counts: List[int] = []
-
     for slot in range(k):
-        groups = config.subgroups_at_slot(slot)
-        subgroup_counts.append(len(groups))
-        member_to_group: Dict[int, int] = {}
-        for gid, (_item, members) in enumerate(groups.items()):
-            subgroup_sizes.append(len(members))
-            if len(members) > 1:
-                for user in members:
-                    alone_flags[user] = False
-            for user in members:
-                member_to_group[user] = gid
-            # Density inside the subgroup.
-            if len(members) >= 2:
-                internal = sum(
-                    1
-                    for i, u in enumerate(members)
-                    for v in members[i + 1:]
-                    if (min(u, v), max(u, v)) in pair_set
-                )
-                density_samples.append(_graph_density(len(members), internal))
-            else:
-                density_samples.append(0.0)
-        for u, v in pairs:
-            group_u = member_to_group.get(int(u))
-            group_v = member_to_group.get(int(v))
-            # An unassigned endpoint belongs to no subgroup, so the pair
-            # cannot be intra at this slot; count it as inter.
-            if group_u is not None and group_u == group_v:
-                intra_total += 1
-            else:
-                inter_total += 1
+        column = config.assignment[:, slot]
+        assigned = np.nonzero(column != UNASSIGNED)[0]
+        items, inverse, counts = np.unique(
+            column[assigned], return_inverse=True, return_counts=True
+        )
+        subgroup_counts.append(int(items.size))
+        subgroup_sizes.extend(int(c) for c in counts)
+        not_alone[assigned[counts[inverse] > 1]] = True
+        # Internal friend pairs per subgroup are exactly the intra pairs at
+        # this slot, bucketed by their shared item.
+        internal = np.zeros(items.size, dtype=float)
+        if num_pairs and items.size:
+            slot_intra = intra_mask[:, slot]
+            if np.any(slot_intra):
+                bucket = np.searchsorted(items, head[slot_intra, slot])
+                np.add.at(internal, bucket, 1.0)
+        possible = counts * (counts - 1) / 2.0
+        densities = np.divide(
+            internal, possible, out=np.zeros(items.size), where=possible > 0
+        )
+        density_samples.extend(float(d) for d in densities)
 
     total_edge_slots = max(1, num_pairs * k)
     intra_ratio = intra_total / total_edge_slots
@@ -119,14 +128,8 @@ def subgroup_metrics(instance: SVGICInstance, config: SAVGConfiguration) -> Subg
     else:
         normalized_density = 0.0
 
-    # Co-display%: friend pairs sharing at least one item at the same slot.
-    co_display = 0
-    for u, v in pairs:
-        u, v = int(u), int(v)
-        same = (config.assignment[u] == config.assignment[v]) & (config.assignment[u] >= 0)
-        if np.any(same):
-            co_display += 1
     co_display_ratio = co_display / num_pairs if num_pairs else 0.0
+    alone_flags = ~not_alone
 
     return SubgroupMetrics(
         intra_edge_ratio=intra_ratio,

@@ -1,0 +1,132 @@
+"""Equivalence tests: vectorized AVG-D prefix sweep vs the scalar reference.
+
+``_DeterministicRounder._scan_prefixes`` was vectorized with cumulative-sum
+sweeps (PR 3); the original per-member set-bookkeeping implementation lives
+on as ``_scan_prefixes_reference``.  These tests pin the two together over
+random instances, mid-run rounder states, tie-heavy fractional solutions,
+and both sampling modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.avg_d import _DeterministicRounder, run_avg_d
+from repro.core.lp import solve_lp_relaxation
+from repro.data import datasets
+from repro.data.example_paper import paper_example_instance
+
+
+def _compare_all_candidates(rounder: _DeterministicRounder, atol: float = 1e-9) -> int:
+    """Compare vectorized vs reference sweeps for every (item, slot); return #compared."""
+    instance = rounder.instance
+    compared = 0
+    for item in rounder.candidate_items:
+        for slot in range(instance.num_slots):
+            key = (item, slot)
+            if key in rounder.locked_cells:
+                continue
+            capacity = instance.num_users
+            if rounder.size_limit is not None:
+                capacity = rounder.size_limit - rounder.cell_counts.get(key, 0)
+                if capacity <= 0:
+                    continue
+            eligible = rounder.eligible_users(item, slot)
+            if eligible.size == 0:
+                continue
+            factors = (
+                rounder.x2[eligible, item]
+                if rounder.slot_independent
+                else rounder.x3[eligible, item, slot]
+            )
+            ranked = eligible[np.argsort(-factors, kind="stable")].tolist()
+            fast = rounder._scan_prefixes(item, slot, ranked, capacity)
+            slow = rounder._scan_prefixes_reference(item, slot, ranked, capacity)
+            if slow is None:
+                assert fast is None
+                continue
+            assert fast is not None
+            assert fast[0] == pytest.approx(slow[0], abs=atol)
+            assert fast[1] == slow[1] and fast[2] == slow[2]
+            assert fast[3] == slow[3], (item, slot)
+            compared += 1
+    return compared
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_equivalence_on_random_instances(seed):
+    instance = datasets.make_instance(
+        "timik",
+        num_users=int(6 + seed),
+        num_items=int(12 + 2 * seed),
+        num_slots=3,
+        seed=seed,
+    )
+    fractional = solve_lp_relaxation(instance)
+    rounder = _DeterministicRounder(instance, fractional, 0.25 + 0.25 * (seed % 3), True)
+    assert _compare_all_candidates(rounder) > 0
+
+
+def test_equivalence_mid_run_states(small_timik_instance):
+    """The sweeps must agree in every intermediate state of a full AVG-D run."""
+    fractional = solve_lp_relaxation(small_timik_instance)
+    rounder = _DeterministicRounder(small_timik_instance, fractional, 1.0, True)
+    steps = 0
+    while rounder.remaining_units > 0 and steps < 12:
+        _compare_all_candidates(rounder)
+        candidate = rounder.best_candidate()
+        if candidate is None:
+            break
+        _, item, slot, members = candidate
+        rounder.execute(item, slot, members)
+        steps += 1
+
+
+def test_equivalence_without_advanced_sampling(paper_instance):
+    fractional = solve_lp_relaxation(paper_instance, prune_items=False)
+    rounder = _DeterministicRounder(paper_instance, fractional, 0.7, False)
+    assert _compare_all_candidates(rounder) > 0
+
+
+def test_equivalence_with_ties():
+    """Uniform preferences produce maximal utility-factor ties (tie-block logic)."""
+    n, m, k = 6, 8, 2
+    instance = datasets.make_instance("timik", num_users=n, num_items=m, num_slots=k, seed=0)
+    from dataclasses import replace
+
+    uniform = replace(
+        instance,
+        preference=np.full((n, m), 0.5),
+        social=np.full((instance.num_edges, m), 0.25),
+    )
+    fractional = solve_lp_relaxation(uniform, prune_items=False)
+    rounder = _DeterministicRounder(uniform, fractional, 0.25, True)
+    assert _compare_all_candidates(rounder) > 0
+
+
+def test_equivalence_on_st_instance(small_st_instance):
+    fractional = solve_lp_relaxation(small_st_instance)
+    rounder = _DeterministicRounder(small_st_instance, fractional, 0.5, True)
+    # Execute a move so some cells carry partial counts against the cap.
+    candidate = rounder.best_candidate()
+    assert candidate is not None
+    _, item, slot, members = candidate
+    rounder.execute(item, slot, members)
+    assert _compare_all_candidates(rounder) > 0
+
+
+def test_full_runs_unchanged_by_vectorization(small_timik_instance):
+    """End-to-end AVG-D output equals a run forced through the reference sweep."""
+    fractional = solve_lp_relaxation(small_timik_instance)
+    fast = run_avg_d(small_timik_instance, fractional, balancing_ratio=1.0)
+
+    original = _DeterministicRounder._scan_prefixes
+    _DeterministicRounder._scan_prefixes = _DeterministicRounder._scan_prefixes_reference
+    try:
+        slow = run_avg_d(small_timik_instance, fractional, balancing_ratio=1.0)
+    finally:
+        _DeterministicRounder._scan_prefixes = original
+    assert np.array_equal(
+        fast.configuration.assignment, slow.configuration.assignment
+    )

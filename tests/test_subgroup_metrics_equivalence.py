@@ -1,0 +1,185 @@
+"""Equivalence test: vectorized subgroup metrics vs the scalar reference.
+
+``repro.metrics.subgroups.subgroup_metrics`` was vectorized in PR 3 (array
+membership lookups over the pair index arrays).  The scalar implementation
+below is a verbatim copy of the pre-vectorization code — including the PR 2
+unassigned-endpoint semantics (an unassigned endpoint belongs to no
+subgroup, so its pairs count as inter at that slot) — and pins the
+vectorized version on random complete and partial configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import UNASSIGNED, SAVGConfiguration
+from repro.core.problem import SVGICInstance
+from repro.data import datasets
+from repro.metrics.subgroups import SubgroupMetrics, _graph_density, subgroup_metrics
+
+
+def _subgroup_metrics_reference(
+    instance: SVGICInstance, config: SAVGConfiguration
+) -> SubgroupMetrics:
+    """Scalar per-slot/per-pair implementation (the pre-PR 3 code, verbatim)."""
+    n, k = instance.num_users, instance.num_slots
+    pairs = instance.pairs
+    num_pairs = pairs.shape[0]
+    pair_set = {(int(u), int(v)) for u, v in pairs}
+
+    base_density = _graph_density(n, num_pairs)
+
+    intra_total = 0
+    inter_total = 0
+    density_samples: List[float] = []
+    alone_flags = np.ones(n, dtype=bool)
+    subgroup_sizes: List[int] = []
+    subgroup_counts: List[int] = []
+
+    for slot in range(k):
+        groups = config.subgroups_at_slot(slot)
+        subgroup_counts.append(len(groups))
+        member_to_group: Dict[int, int] = {}
+        for gid, (_item, members) in enumerate(groups.items()):
+            subgroup_sizes.append(len(members))
+            if len(members) > 1:
+                for user in members:
+                    alone_flags[user] = False
+            for user in members:
+                member_to_group[user] = gid
+            if len(members) >= 2:
+                internal = sum(
+                    1
+                    for i, u in enumerate(members)
+                    for v in members[i + 1:]
+                    if (min(u, v), max(u, v)) in pair_set
+                )
+                density_samples.append(_graph_density(len(members), internal))
+            else:
+                density_samples.append(0.0)
+        for u, v in pairs:
+            group_u = member_to_group.get(int(u))
+            group_v = member_to_group.get(int(v))
+            if group_u is not None and group_u == group_v:
+                intra_total += 1
+            else:
+                inter_total += 1
+
+    total_edge_slots = max(1, num_pairs * k)
+    intra_ratio = intra_total / total_edge_slots
+    inter_ratio = inter_total / total_edge_slots
+
+    if density_samples and base_density > 0:
+        normalized_density = float(np.mean(density_samples)) / base_density
+    else:
+        normalized_density = 0.0
+
+    co_display = 0
+    for u, v in pairs:
+        u, v = int(u), int(v)
+        same = (config.assignment[u] == config.assignment[v]) & (config.assignment[u] >= 0)
+        if np.any(same):
+            co_display += 1
+    co_display_ratio = co_display / num_pairs if num_pairs else 0.0
+
+    return SubgroupMetrics(
+        intra_edge_ratio=intra_ratio,
+        inter_edge_ratio=inter_ratio,
+        normalized_density=normalized_density,
+        co_display_ratio=co_display_ratio,
+        alone_ratio=float(np.mean(alone_flags)) if n else 0.0,
+        mean_subgroup_size=float(np.mean(subgroup_sizes)) if subgroup_sizes else 0.0,
+        max_subgroup_size=int(max(subgroup_sizes)) if subgroup_sizes else 0,
+        num_subgroups_per_slot=float(np.mean(subgroup_counts)) if subgroup_counts else 0.0,
+    )
+
+
+def _assert_metrics_equal(fast: SubgroupMetrics, slow: SubgroupMetrics) -> None:
+    for key, value in slow.as_dict().items():
+        assert fast.as_dict()[key] == pytest.approx(value, abs=1e-9), key
+
+
+def _random_configuration(instance, rng, *, partial_fraction=0.0) -> SAVGConfiguration:
+    config = SAVGConfiguration.for_instance(instance)
+    for user in range(instance.num_users):
+        items = rng.choice(instance.num_items, size=instance.num_slots, replace=False)
+        config.assignment[user, :] = items
+    if partial_fraction > 0:
+        mask = rng.random(config.assignment.shape) < partial_fraction
+        config.assignment[mask] = UNASSIGNED
+    return config
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_equivalence_on_random_complete_configurations(seed):
+    rng = np.random.default_rng(seed)
+    instance = datasets.make_instance(
+        "timik",
+        num_users=int(rng.integers(4, 14)),
+        num_items=int(rng.integers(5, 20)),
+        num_slots=int(rng.integers(2, 5)),
+        seed=seed,
+    )
+    config = _random_configuration(instance, rng)
+    _assert_metrics_equal(
+        subgroup_metrics(instance, config),
+        _subgroup_metrics_reference(instance, config),
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_equivalence_on_partial_configurations(seed):
+    """Unassigned endpoints: never intra, omitted from subgroups, alone by default."""
+    rng = np.random.default_rng(1000 + seed)
+    instance = datasets.make_instance(
+        "epinions",
+        num_users=int(rng.integers(4, 12)),
+        num_items=int(rng.integers(5, 15)),
+        num_slots=3,
+        seed=seed,
+    )
+    config = _random_configuration(instance, rng, partial_fraction=0.4)
+    _assert_metrics_equal(
+        subgroup_metrics(instance, config),
+        _subgroup_metrics_reference(instance, config),
+    )
+
+
+def test_equivalence_on_empty_configuration(tiny_instance):
+    config = SAVGConfiguration.for_instance(tiny_instance)
+    _assert_metrics_equal(
+        subgroup_metrics(tiny_instance, config),
+        _subgroup_metrics_reference(tiny_instance, config),
+    )
+
+
+def test_equivalence_without_social_network():
+    instance = datasets.make_instance(
+        "timik", num_users=5, num_items=8, num_slots=2, seed=3
+    )
+    from dataclasses import replace
+
+    lonely = replace(
+        instance,
+        edges=np.empty((0, 2), dtype=np.int64),
+        social=np.empty((0, instance.num_items)),
+    )
+    config = _random_configuration(lonely, np.random.default_rng(0))
+    _assert_metrics_equal(
+        subgroup_metrics(lonely, config),
+        _subgroup_metrics_reference(lonely, config),
+    )
+
+
+def test_equivalence_on_group_style_configuration(small_timik_instance):
+    """Everyone sees the same itemset — one big subgroup per slot."""
+    instance = small_timik_instance
+    config = SAVGConfiguration.for_instance(instance)
+    config.assignment[:, :] = np.arange(instance.num_slots)[None, :]
+    _assert_metrics_equal(
+        subgroup_metrics(instance, config),
+        _subgroup_metrics_reference(instance, config),
+    )
