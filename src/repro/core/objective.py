@@ -415,6 +415,70 @@ class DeltaEvaluator:
         """Unassign the display unit ``(user, slot)``; returns the new total utility."""
         return self.set_cell(user, slot, UNASSIGNED)
 
+    def probe_many(self, unit: Tuple[int, int], candidates: np.ndarray) -> np.ndarray:
+        """Utility deltas of assigning each of ``candidates`` to display unit ``unit``.
+
+        ``unit`` is a ``(user, slot)`` pair; the return value is a float array
+        of ``candidates``'s length whose entry ``i`` equals
+        ``set_cell(user, slot, candidates[i]) - total`` — without mutating the
+        evaluator.  Entries for candidates equal to the currently displayed
+        item are 0.  This batches the single-cell candidate loop of the local
+        search improver into one vectorized pass: the cost is
+        ``O(deg(user) + m + |candidates|)`` for plain SVGIC instances instead
+        of ``O(deg(user) * k)`` per candidate.
+
+        SVGIC-ST instances fall back to exact probe/revert :meth:`set_cell`
+        pairs per candidate (the teleportation term couples a move to the
+        item counts of both endpoints across all slots), so the result is
+        bit-identical to the scalar probes in every case.
+        """
+        user, slot = int(unit[0]), int(unit[1])
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size == 0:
+            return np.zeros(0, dtype=float)
+        if np.any((candidates < 0) | (candidates >= self.instance.num_items)):
+            raise ValueError(
+                f"candidate item outside [0, {self.instance.num_items})"
+            )
+        old = int(self.assignment[user, slot])
+
+        if self._is_st:
+            base = self.total
+            deltas = np.zeros(candidates.shape[0], dtype=float)
+            for i, item in enumerate(candidates):
+                item = int(item)
+                if item == old:
+                    continue
+                deltas[i] = self.set_cell(user, slot, item) - base
+                self.set_cell(user, slot, old)  # exact revert
+            return deltas
+
+        pref = self.instance.preference[user]
+        old_pref = float(pref[old]) if old != UNASSIGNED else 0.0
+        deltas = (1.0 - self._lam) * (pref[candidates] - old_pref)
+
+        pids, others = self._incident[user]
+        if pids.size:
+            shown = self.assignment[others, slot]  # neighbours' items at this slot
+            assigned = shown != UNASSIGNED
+            loss = 0.0
+            if old != UNASSIGNED:
+                match_old = assigned & (shown == old)
+                if np.any(match_old):
+                    loss = self._lam * float(
+                        self._pair_social[pids[match_old], old].sum()
+                    )
+            gain = np.zeros(self.instance.num_items, dtype=float)
+            if np.any(assigned):
+                np.add.at(
+                    gain,
+                    shown[assigned],
+                    self._lam * self._pair_social[pids[assigned], shown[assigned]],
+                )
+            deltas += gain[candidates] - loss
+        deltas[candidates == old] = 0.0
+        return deltas
+
     # ------------------------------------------------------------------ #
     @property
     def breakdown(self) -> UtilityBreakdown:

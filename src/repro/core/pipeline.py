@@ -10,6 +10,11 @@ This module is the backbone of the unified solver pipeline:
   independent rounding, the approximation-guarantee checks) through one
   context performs exactly one simplified-LP solve per instance; the
   ``lp_requests`` / ``lp_solves`` counters make that property assertable.
+  :meth:`SolveContext.export_artifacts` / :meth:`SolveContext.from_artifacts`
+  snapshot and rehydrate that state as a picklable
+  :class:`ContextArtifacts`, so sweep repetitions that share an instance —
+  in-process or across executor/process boundaries — reuse the LP solutions
+  instead of re-solving (``lp_artifact_hits`` counts those reuses).
 * The :class:`Stage` protocol describes composable post-processing passes
   over a configuration.  :class:`GreedyCompletionStage` and
   :class:`DuplicateRepairStage` package the existing feasibility repairs;
@@ -26,6 +31,7 @@ to the base algorithm's configuration, and every stage records provenance
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -54,6 +60,53 @@ def instance_size_limit(instance: SVGICInstance) -> Optional[int]:
 # --------------------------------------------------------------------------- #
 # Shared per-instance solve state
 # --------------------------------------------------------------------------- #
+def instance_fingerprint(instance: SVGICInstance) -> str:
+    """Stable content hash of an instance's defining data.
+
+    Two instances with equal users/items/slots, weights and utility tables
+    share a fingerprint regardless of identity, so artifact stores can match
+    e.g. the same instance rebuilt by a factory in another process.
+    """
+    digest = hashlib.sha256()
+    digest.update(type(instance).__name__.encode("utf-8"))
+    scalars: Tuple[Any, ...] = (
+        instance.num_users,
+        instance.num_items,
+        instance.num_slots,
+        float(instance.social_weight),
+        float(getattr(instance, "teleport_discount", -1.0)),
+        int(getattr(instance, "max_subgroup_size", -1)),
+    )
+    digest.update(repr(scalars).encode("utf-8"))
+    for array in (instance.preference, instance.edges, instance.social):
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass
+class ContextArtifacts:
+    """Picklable snapshot of a :class:`SolveContext`'s computed state.
+
+    Produced by :meth:`SolveContext.export_artifacts` and consumed by
+    :meth:`SolveContext.from_artifacts`: the weighted tensors, candidate-item
+    sets and keyed LP fractional solutions computed for one instance can be
+    persisted, shipped across process boundaries, and rehydrated into a fresh
+    context so repetitions that share an instance never re-solve the LP.
+    ``fingerprint`` guards against rehydrating onto a different instance.
+    """
+
+    fingerprint: str
+    preference_weight: Optional[np.ndarray] = None
+    pair_weight: Optional[np.ndarray] = None
+    candidate_scores: Optional[np.ndarray] = None
+    candidate_items: Dict[Optional[int], np.ndarray] = field(default_factory=dict)
+    lp_solutions: Dict[Tuple[Any, ...], "FractionalSolution"] = field(default_factory=dict)
+
+    @property
+    def num_lp_solutions(self) -> int:
+        return len(self.lp_solutions)
+
+
 class SolveContext:
     """Lazily computed, cached state shared by every algorithm run on one instance.
 
@@ -69,18 +122,93 @@ class SolveContext:
         Counters over :meth:`fractional` calls: total requests and requests
         that actually hit the LP solver.  ``lp_hits`` is the difference —
         the number of redundant solves the cache eliminated.
+    lp_artifact_hits:
+        The subset of cache hits served by entries rehydrated from
+        :class:`ContextArtifacts` (as opposed to solves performed by this
+        context in-process).
     """
 
     def __init__(self, instance: SVGICInstance) -> None:
         self.instance = instance
         self.lp_requests = 0
         self.lp_solves = 0
+        self.lp_artifact_hits = 0
         self.last_fractional_was_hit = False
         self._lp_cache: Dict[Tuple[Any, ...], FractionalSolution] = {}
+        self._artifact_keys: set = set()
         self._candidate_cache: Dict[Optional[int], np.ndarray] = {}
         self._preference_weight: Optional[np.ndarray] = None
         self._pair_weight: Optional[np.ndarray] = None
         self._candidate_scores: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
+
+    # -- artifact export / rehydration ---------------------------------- #
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the wrapped instance (computed once)."""
+        if self._fingerprint is None:
+            self._fingerprint = instance_fingerprint(self.instance)
+        return self._fingerprint
+
+    def export_artifacts(self) -> ContextArtifacts:
+        """Snapshot the computed state for persistence or cross-process reuse.
+
+        Cheap: arrays are shared, not copied (artifacts and context must be
+        treated as read-only afterwards — every consumer in the library is).
+        """
+        return ContextArtifacts(
+            fingerprint=self.fingerprint,
+            preference_weight=self._preference_weight,
+            pair_weight=self._pair_weight,
+            candidate_scores=self._candidate_scores,
+            candidate_items=dict(self._candidate_cache),
+            lp_solutions=dict(self._lp_cache),
+        )
+
+    def adopt_artifacts(
+        self, artifacts: ContextArtifacts, *, strict: bool = True
+    ) -> bool:
+        """Populate this (fresh) context's caches from ``artifacts``.
+
+        The artifact fingerprint must match the instance; with
+        ``strict=False`` a mismatch leaves the context untouched and returns
+        False instead of raising (useful for best-effort artifact stores).
+        Rehydrated LP entries are tracked separately: cache hits on them
+        count into ``lp_artifact_hits``.  Adopting overwrites any
+        previously cached state, so call it before the first use.
+        """
+        if artifacts.fingerprint != self.fingerprint:
+            if strict:
+                raise ValueError(
+                    "artifact fingerprint does not match the instance: "
+                    f"{artifacts.fingerprint[:12]}… vs {self.fingerprint[:12]}…"
+                )
+            return False
+        self._preference_weight = artifacts.preference_weight
+        self._pair_weight = artifacts.pair_weight
+        self._candidate_scores = artifacts.candidate_scores
+        self._candidate_cache = dict(artifacts.candidate_items)
+        self._lp_cache = dict(artifacts.lp_solutions)
+        self._artifact_keys = set(artifacts.lp_solutions)
+        return True
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        instance: SVGICInstance,
+        artifacts: ContextArtifacts,
+        *,
+        strict: bool = True,
+    ) -> "SolveContext":
+        """A context for ``instance`` pre-populated from ``artifacts``.
+
+        Convenience wrapper over :meth:`adopt_artifacts` for callers without
+        an existing context; a mismatch with ``strict=False`` returns a
+        fresh empty context.
+        """
+        context = cls(instance)
+        context.adopt_artifacts(artifacts, strict=strict)
+        return context
 
     # -- dense weighted tensors ---------------------------------------- #
     @property
@@ -128,6 +256,8 @@ class SolveContext:
         cached = self._lp_cache.get(key)
         if cached is not None:
             self.last_fractional_was_hit = True
+            if key in self._artifact_keys:
+                self.lp_artifact_hits += 1
             return cached
         self.last_fractional_was_hit = False
         self.lp_solves += 1
@@ -151,11 +281,18 @@ class SolveContext:
         return self.fractional().objective
 
     def stats(self) -> Dict[str, int]:
-        """Counter snapshot for provenance reporting."""
+        """Counter snapshot for provenance reporting.
+
+        ``lp_hits`` counts every request served from the cache;
+        ``lp_artifact_hits`` is the subset served by entries rehydrated from
+        artifacts (so ``lp_hits - lp_artifact_hits`` are in-process hits).
+        """
         return {
             "lp_requests": self.lp_requests,
             "lp_solves": self.lp_solves,
             "lp_hits": self.lp_hits,
+            "lp_artifact_hits": self.lp_artifact_hits,
+            "lp_rehydrated_entries": len(self._artifact_keys),
         }
 
 
@@ -297,8 +434,9 @@ class LocalSearchImprover:
 
     * **single-cell swaps** — replace the item at one display unit
       ``(user, slot)`` by any item not yet displayed to that user
-      (best-improvement: all candidate items are delta-evaluated and the
-      largest gain is executed);
+      (best-improvement: all candidate items are delta-evaluated in one
+      :meth:`DeltaEvaluator.probe_many` NumPy pass and the arg-max gain is
+      executed);
     * **pairwise exchanges** — swap the items of two display units, either
       the two slots of one user (changing the co-display pattern) or the
       same slot of a friend pair (size-cap neutral by construction).
@@ -347,11 +485,14 @@ class LocalSearchImprover:
 
     # -- move probes ----------------------------------------------------- #
     @staticmethod
-    def _cell_counts(config: SAVGConfiguration) -> Dict[Tuple[int, int], int]:
-        counts: Dict[Tuple[int, int], int] = {}
-        for slot in range(config.num_slots):
-            for item, members in config.subgroups_at_slot(slot).items():
-                counts[(item, slot)] = len(members)
+    def _cell_counts(config: SAVGConfiguration) -> np.ndarray:
+        """``(m, k)`` subgroup sizes: users displayed item ``c`` at slot ``s``."""
+        counts = np.zeros((config.num_items, config.num_slots), dtype=np.int64)
+        mask = config.assignment != UNASSIGNED
+        slots = np.broadcast_to(
+            np.arange(config.num_slots), config.assignment.shape
+        )[mask]
+        np.add.at(counts, (config.assignment[mask], slots), 1)
         return counts
 
     def _best_cell_move(
@@ -360,31 +501,29 @@ class LocalSearchImprover:
         user: int,
         slot: int,
         candidates: np.ndarray,
-        counts: Optional[Dict[Tuple[int, int], int]],
+        counts: Optional[np.ndarray],
         size_limit: Optional[int],
     ) -> Tuple[Optional[int], float]:
-        """Best single-cell replacement for ``(user, slot)``; (None, 0) if no gain."""
+        """Best single-cell replacement for ``(user, slot)``; (None, 0) if no gain.
+
+        All feasible candidates are delta-evaluated in one
+        :meth:`~repro.core.objective.DeltaEvaluator.probe_many` call and the
+        arg-max is returned — the former per-candidate Python probe loop,
+        batched.  Ties keep the first (lowest-index) candidate, matching the
+        scalar loop's strict-improvement scan.
+        """
         old = int(evaluator.assignment[user, slot])
         row = evaluator.assignment[user]
-        base = evaluator.total
-        best_gain = self.tolerance
-        best_item: Optional[int] = None
-        for item in candidates:
-            item = int(item)
-            if item == old or item in row:
-                continue
-            if (
-                size_limit is not None
-                and counts is not None
-                and counts.get((item, slot), 0) >= size_limit
-            ):
-                continue
-            gain = evaluator.set_cell(user, slot, item) - base
-            evaluator.set_cell(user, slot, old)  # exact revert
-            if gain > best_gain:
-                best_gain = gain
-                best_item = item
-        return best_item, (best_gain if best_item is not None else 0.0)
+        valid = candidates[~np.isin(candidates, row)]
+        if size_limit is not None and counts is not None:
+            valid = valid[counts[valid, slot] < size_limit]
+        if valid.size == 0:
+            return None, 0.0
+        gains = evaluator.probe_many((user, slot), valid)
+        best = int(np.argmax(gains))
+        if gains[best] > self.tolerance:
+            return int(valid[best]), float(gains[best])
+        return None, 0.0
 
     def _try_swap(
         self,
@@ -439,8 +578,8 @@ class LocalSearchImprover:
                     evaluator.set_cell(user, slot, item)
                     if counts is not None:
                         if old != UNASSIGNED:
-                            counts[(old, slot)] = counts.get((old, slot), 1) - 1
-                        counts[(item, slot)] = counts.get((item, slot), 0) + 1
+                            counts[old, slot] -= 1
+                        counts[item, slot] += 1
                     moves += 1
                     improved = True
                     trace.append(evaluator.total)
@@ -456,8 +595,8 @@ class LocalSearchImprover:
                                 continue
                             if size_limit is not None and counts is not None:
                                 if (
-                                    counts.get((b, s1), 0) >= size_limit
-                                    or counts.get((a, s2), 0) >= size_limit
+                                    counts[b, s1] >= size_limit
+                                    or counts[a, s2] >= size_limit
                                 ):
                                     continue
                             gain = self._try_swap(
@@ -465,10 +604,10 @@ class LocalSearchImprover:
                             )
                             if gain > 0.0:
                                 if counts is not None:
-                                    counts[(a, s1)] = counts.get((a, s1), 1) - 1
-                                    counts[(b, s2)] = counts.get((b, s2), 1) - 1
-                                    counts[(b, s1)] = counts.get((b, s1), 0) + 1
-                                    counts[(a, s2)] = counts.get((a, s2), 0) + 1
+                                    counts[a, s1] -= 1
+                                    counts[b, s2] -= 1
+                                    counts[b, s1] += 1
+                                    counts[a, s2] += 1
                                 moves += 1
                                 improved = True
                                 trace.append(evaluator.total)
@@ -534,6 +673,8 @@ def apply_stages(
 
 __all__ = [
     "SolveContext",
+    "ContextArtifacts",
+    "instance_fingerprint",
     "Stage",
     "StageOutcome",
     "GreedyCompletionStage",

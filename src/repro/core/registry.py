@@ -18,7 +18,11 @@ LP cache hits, improver move counts — on the returned
 Registration happens at import time of the defining modules; the registry
 lazily imports the known provider modules on first query, so
 ``get_algorithm("AVG")`` works without callers importing
-:mod:`repro.core.avg` themselves.
+:mod:`repro.core.avg` themselves.  That same property makes specs cheap to
+ship across process boundaries: :func:`runner_payloads` lowers a harness
+line-up to picklable :class:`AlgorithmPayload` name+kwargs records, and a
+worker process rehydrates them simply by importing this module and
+rebinding (:meth:`AlgorithmPayload.rehydrate`).
 """
 
 from __future__ import annotations
@@ -237,8 +241,66 @@ def build_runners(
     return runners
 
 
+# --------------------------------------------------------------------------- #
+# Serializable runner payloads (the process-pool executor ships these)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AlgorithmPayload:
+    """Picklable description of one harness runner — names, not closures.
+
+    For registry-backed runners the payload stores the registry name plus
+    the bound override kwargs; a worker process rehydrates it by importing
+    the registry (which lazily imports every provider module, re-running the
+    ``@register_algorithm`` decorators) and rebinding.  Legacy plain
+    callables travel as the callable itself in ``runner`` — fine for
+    module-level functions, but closures/lambdas cannot cross a process
+    boundary and fail with the standard pickling error.
+    """
+
+    display_name: str
+    registry_name: Optional[str] = None
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    runner: Optional[AlgorithmRunner] = None
+
+    def rehydrate(self) -> AlgorithmRunner:
+        """Rebuild the harness-compatible runner this payload describes."""
+        if self.registry_name is not None:
+            return _BoundRunner(self.registry_name, self.overrides)
+        if self.runner is None:
+            raise ValueError(
+                f"payload {self.display_name!r} carries neither a registry name "
+                "nor a callable"
+            )
+        return self.runner
+
+
+def runner_payloads(
+    algorithms: Mapping[str, AlgorithmRunner]
+) -> Tuple[AlgorithmPayload, ...]:
+    """Convert a harness ``{name: runner}`` dict into serializable payloads.
+
+    Registry-bound runners (anything produced by :func:`build_runners`)
+    become pure name+kwargs records; other callables are carried verbatim.
+    Order is preserved — it determines the line-up's evaluation order.
+    """
+    payloads = []
+    for display_name, runner in algorithms.items():
+        if isinstance(runner, _BoundRunner):
+            payloads.append(
+                AlgorithmPayload(
+                    display_name=display_name,
+                    registry_name=runner.name,
+                    overrides=dict(runner.overrides),
+                )
+            )
+        else:
+            payloads.append(AlgorithmPayload(display_name=display_name, runner=runner))
+    return tuple(payloads)
+
+
 __all__ = [
     "AlgorithmSpec",
+    "AlgorithmPayload",
     "AlgorithmRunner",
     "register_algorithm",
     "get_algorithm",
@@ -247,4 +309,5 @@ __all__ = [
     "specs_by_tag",
     "run_registered",
     "build_runners",
+    "runner_payloads",
 ]

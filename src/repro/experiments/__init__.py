@@ -1,11 +1,22 @@
-"""Experiment harness and per-figure experiment definitions (Section 6)."""
+"""Experiment harness, sweep plans/executors and per-figure definitions (Section 6)."""
 
 from repro.experiments import figures
 from repro.experiments.case_study import CaseStudy, describe_case_study
+from repro.experiments.executor import (
+    JobResult,
+    ParallelExecutor,
+    SerialExecutor,
+    SweepJob,
+    SweepPlan,
+    compile_grid,
+    compile_sweep,
+)
 from repro.experiments.harness import (
     ExperimentResult,
     default_algorithms,
+    grid,
     run_algorithms,
+    run_plan,
     sweep,
 )
 
@@ -14,7 +25,16 @@ __all__ = [
     "ExperimentResult",
     "default_algorithms",
     "run_algorithms",
+    "run_plan",
     "sweep",
+    "grid",
+    "SweepJob",
+    "SweepPlan",
+    "JobResult",
+    "compile_sweep",
+    "compile_grid",
+    "SerialExecutor",
+    "ParallelExecutor",
     "CaseStudy",
     "describe_case_study",
 ]

@@ -1,0 +1,557 @@
+"""Declarative sweep plans and pluggable (serial / process-pool) executors.
+
+The experiment layer separates *what* a sweep runs from *how* it runs:
+
+* :func:`compile_sweep` / :func:`compile_grid` turn a parameter sweep into a
+  :class:`SweepPlan` — a list of picklable :class:`SweepJob` records (sweep
+  value, repetition, derived seed, and the algorithm line-up resolved to
+  :class:`~repro.core.registry.AlgorithmPayload` name+kwargs records, not
+  closures).  A plan can be inspected (:meth:`SweepPlan.describe`), sliced
+  (:meth:`SweepPlan.subset`) and shipped to worker processes.
+* Executors run a plan's jobs and return :class:`JobResult` rows.
+  :class:`SerialExecutor` executes in plan order in-process;
+  :class:`ParallelExecutor` fans jobs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`, chunking by sweep value so
+  every repetition/algorithm of one instance stays on one worker (preserving
+  the per-instance :class:`~repro.core.pipeline.SolveContext` LP reuse) and
+  reassembling results deterministically by job index regardless of
+  completion order.  Workers rehydrate the algorithm registry simply by
+  importing it — registration is an import-time side effect of the provider
+  modules.
+* Both executors thread an **artifact store** (instance fingerprint →
+  :class:`~repro.core.pipeline.ContextArtifacts`) through their jobs: when a
+  factory rebuilds an identical instance for another repetition, the LP
+  fractional solutions and weighted tensors are rehydrated instead of
+  recomputed, in-process and across process boundaries alike (shipping
+  worker artifacts back to the parent is opt-in —
+  ``ParallelExecutor(collect_artifacts=True)`` — since sweeps with a fresh
+  instance per job can never reuse them).
+
+Seeding is order-independent by construction: each job derives its
+repetition seed from ``(sweep name, value, rep)`` and each algorithm run
+derives its generator from ``(rep seed, algorithm name)``, so a serial run
+and any parallel schedule of the same plan produce identical tables.
+:func:`repro.experiments.harness.sweep` is a thin wrapper: compile, execute,
+aggregate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    MutableMapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.core.pipeline import ContextArtifacts, SolveContext
+from repro.core.problem import SVGICInstance
+from repro.core.registry import AlgorithmPayload, AlgorithmRunner, runner_payloads
+from repro.metrics.evaluation import EvaluationReport, evaluate_result
+from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+
+InstanceFactory = Callable[[Any, int], SVGICInstance]
+
+#: Artifact stores map instance fingerprints to exported context artifacts.
+ArtifactStore = MutableMapping[str, ContextArtifacts]
+
+
+# --------------------------------------------------------------------------- #
+# Jobs and plans
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work: one instance (sweep value × repetition).
+
+    Jobs are pure data — picklable, inspectable, and independent of the plan
+    that produced them.  ``columns`` carries the sweep-point labels merged
+    into every result row of this job (e.g. ``{"n": 100, "x": 100}``).
+    """
+
+    index: int
+    value: Any
+    value_index: int
+    rep: int
+    rep_seed: int
+    algorithms: Tuple[AlgorithmPayload, ...]
+    columns: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def algorithm_names(self) -> Tuple[str, ...]:
+        return tuple(payload.display_name for payload in self.algorithms)
+
+
+@dataclass
+class SweepPlan:
+    """A compiled experiment: metadata plus the full job list.
+
+    ``values`` keeps the distinct sweep points in presentation order;
+    ``jobs`` holds one :class:`SweepJob` per (value, repetition) pair.
+    """
+
+    name: str
+    description: str
+    instance_factory: InstanceFactory
+    jobs: List[SweepJob]
+    values: List[Any]
+    repetitions: int
+    x_label: str = "x"
+    y_label: Optional[str] = None
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def algorithm_names(self) -> Tuple[str, ...]:
+        return self.jobs[0].algorithm_names if self.jobs else ()
+
+    def subset(self, indices: Iterable[int]) -> "SweepPlan":
+        """A plan restricted to the jobs with the given ``index`` values.
+
+        Kept jobs retain their original ``index``/``value_index``, so
+        aggregated tables line up with the parent plan; the plan metadata
+        (``values``, ``parameters``) is rebuilt to describe only what is
+        actually left.
+        """
+        wanted = set(int(i) for i in indices)
+        jobs = [job for job in self.jobs if job.index in wanted]
+        # Recover kept values from the jobs themselves (their value_index is
+        # the original compile's numbering), so subsets compose.
+        by_value_index: Dict[int, Any] = {}
+        for job in jobs:
+            by_value_index.setdefault(job.value_index, job.value)
+        kept_values = [by_value_index[vi] for vi in sorted(by_value_index)]
+        parameters = dict(self.parameters)
+        if "values" in parameters:
+            parameters["values"] = kept_values
+        if "x_values" in parameters:  # grid plans: values are (x, y) pairs
+            parameters["x_values"] = [
+                x for x in parameters["x_values"]
+                if any(value[0] == x for value in kept_values)
+            ]
+        if "y_values" in parameters:
+            parameters["y_values"] = [
+                y for y in parameters["y_values"]
+                if any(value[1] == y for value in kept_values)
+            ]
+        parameters["subset_of_jobs"] = len(self.jobs)
+        return replace(self, jobs=jobs, values=kept_values, parameters=parameters)
+
+    def describe(self) -> str:
+        """Human-readable plan summary (what would run, before running it)."""
+        lines = [
+            f"plan {self.name!r}: {len(self.jobs)} job(s) over "
+            f"{len(self.values)} value(s), {self.repetitions} repetition(s)",
+            f"  algorithms: {', '.join(self.algorithm_names) or '(none)'}",
+        ]
+        labels = [self.x_label] + ([self.y_label] if self.y_label else [])
+        for job in self.jobs:
+            point = " ".join(
+                f"{label}={job.columns.get(label, job.value)!r}" for label in labels
+            )
+            lines.append(
+                f"  job {job.index}: {point} rep={job.rep} seed={job.rep_seed}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class JobResult:
+    """Evaluated reports of one job plus execution provenance.
+
+    ``reports`` is keyed by algorithm display name in line-up order;
+    ``provenance`` records the job identity, the worker PID, wall time and
+    the :class:`SolveContext` LP counters (``lp_solves``, ``lp_hits``,
+    ``lp_artifact_hits``) so schedulers and benchmarks can assert the
+    one-LP-solve-per-instance property.
+    """
+
+    job_index: int
+    reports: Dict[str, EvaluationReport]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+
+
+def compile_sweep(
+    name: str,
+    description: str,
+    values: Iterable[Any],
+    instance_factory: InstanceFactory,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = 0,
+    repetitions: int = 1,
+    x_label: str = "x",
+) -> SweepPlan:
+    """Compile a one-dimensional sweep into a :class:`SweepPlan`.
+
+    ``instance_factory(value, rep_seed)`` must return the instance for one
+    sweep point and repetition; the seed derivation matches the historical
+    ``sweep()`` loop (``derive_seed(seed, name, str(value), rep)``), so
+    compiled plans reproduce pre-plan experiment tables.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    values = list(values)
+    payloads = runner_payloads(algorithms)
+    jobs: List[SweepJob] = []
+    for value_index, value in enumerate(values):
+        for rep in range(repetitions):
+            jobs.append(
+                SweepJob(
+                    index=len(jobs),
+                    value=value,
+                    value_index=value_index,
+                    rep=rep,
+                    rep_seed=derive_seed(seed, name, str(value), rep),
+                    algorithms=payloads,
+                    columns={x_label: value, "x": value},
+                )
+            )
+    return SweepPlan(
+        name=name,
+        description=description,
+        instance_factory=instance_factory,
+        jobs=jobs,
+        values=values,
+        repetitions=repetitions,
+        x_label=x_label,
+        parameters={"values": list(values), "repetitions": repetitions},
+    )
+
+
+def compile_grid(
+    name: str,
+    description: str,
+    x_values: Iterable[Any],
+    y_values: Iterable[Any],
+    instance_factory: InstanceFactory,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = 0,
+    repetitions: int = 1,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> SweepPlan:
+    """Compile a two-dimensional sweep (every ``(x, y)`` combination).
+
+    The factory receives the point as one value: ``instance_factory((x, y),
+    rep_seed)``.  Result rows carry both labelled coordinates plus the
+    generic ``x`` / ``y`` columns used by the pivot helpers.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    x_values, y_values = list(x_values), list(y_values)
+    points = [(x, y) for x in x_values for y in y_values]
+    payloads = runner_payloads(algorithms)
+    jobs: List[SweepJob] = []
+    for value_index, (x, y) in enumerate(points):
+        for rep in range(repetitions):
+            jobs.append(
+                SweepJob(
+                    index=len(jobs),
+                    value=(x, y),
+                    value_index=value_index,
+                    rep=rep,
+                    rep_seed=derive_seed(seed, name, str(x), str(y), rep),
+                    algorithms=payloads,
+                    columns={x_label: x, y_label: y, "x": x, "y": y},
+                )
+            )
+    return SweepPlan(
+        name=name,
+        description=description,
+        instance_factory=instance_factory,
+        jobs=jobs,
+        values=points,
+        repetitions=repetitions,
+        x_label=x_label,
+        y_label=y_label,
+        parameters={
+            "x_values": list(x_values),
+            "y_values": list(y_values),
+            "repetitions": repetitions,
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Job execution (shared by every executor and by the worker processes)
+# --------------------------------------------------------------------------- #
+def run_algorithms(
+    instance: SVGICInstance,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = None,
+    context: Optional[SolveContext] = None,
+) -> Dict[str, EvaluationReport]:
+    """Run every algorithm on ``instance`` and evaluate all Section-6 metrics.
+
+    One :class:`SolveContext` (created here unless supplied) is shared by
+    all context-aware runners, so redundant LP relaxation solves are
+    eliminated across the line-up.  Legacy runners — plain callables without
+    the ``accepts_context`` marker — are still invoked as
+    ``runner(instance, rng=...)``.
+
+    Each algorithm draws from its own generator seeded by
+    ``derive_seed(seed, name)``.  (Compatibility note: earlier versions
+    threaded one shared generator sequentially through the line-up, which
+    made stochastic results depend on dictionary insertion order; the
+    per-algorithm derivation is order-independent — required for
+    serial ≡ parallel sweep equivalence — so randomized algorithms return
+    different, equally valid draws than they did under the old scheme.)
+
+    This is the single dispatch loop for the whole experiment layer:
+    :func:`run_job` (and therefore every executor) routes through it, so
+    serial and parallel sweeps cannot drift apart.
+    """
+    if isinstance(seed, (int, np.integer)):
+        base_seed = int(seed)
+    else:
+        base_seed = int(ensure_rng(seed).integers(0, 2**31 - 1))
+    if context is None:
+        context = SolveContext(instance)
+    reports: Dict[str, EvaluationReport] = {}
+    for name, runner in algorithms.items():
+        generator = ensure_rng(derive_seed(base_seed, name))
+        if getattr(runner, "accepts_context", False):
+            result = runner(instance, rng=generator, context=context)
+        else:
+            result = runner(instance, rng=generator)
+        reports[name] = evaluate_result(instance, result)
+    return reports
+
+
+def run_job(
+    instance_factory: InstanceFactory,
+    job: SweepJob,
+    artifact_store: Optional[ArtifactStore] = None,
+) -> JobResult:
+    """Build the job's instance, rehydrate its runners, dispatch the line-up.
+
+    One :class:`SolveContext` is shared by all of the job's context-aware
+    runners; if ``artifact_store`` holds artifacts for the instance's
+    fingerprint the context is rehydrated from them (and the store is
+    refreshed with this job's artifacts afterwards).  Dispatch happens
+    through :func:`run_algorithms`, so each algorithm draws from its own
+    ``derive_seed(rep_seed, name)`` generator and results do not depend on
+    line-up order or scheduling.
+    """
+    started = time.perf_counter()
+    instance = instance_factory(job.value, job.rep_seed)
+    context = SolveContext(instance)
+    if artifact_store is not None:
+        artifacts = artifact_store.get(context.fingerprint)
+        if artifacts is not None:
+            context.adopt_artifacts(artifacts)
+
+    runners = {
+        payload.display_name: payload.rehydrate() for payload in job.algorithms
+    }
+    reports = run_algorithms(instance, runners, seed=job.rep_seed, context=context)
+
+    if artifact_store is not None and (
+        context.lp_solves > 0 or context.fingerprint not in artifact_store
+    ):
+        # Write back only when this job computed something new — pure-hit
+        # jobs leave the stored entry untouched, so executors can tell fresh
+        # artifacts from already-known ones by identity.
+        artifact_store[context.fingerprint] = context.export_artifacts()
+
+    provenance: Dict[str, Any] = {
+        "job_index": job.index,
+        "value": job.value,
+        "rep": job.rep,
+        "pid": os.getpid(),
+        "seconds": time.perf_counter() - started,
+    }
+    provenance.update(context.stats())
+    return JobResult(job_index=job.index, reports=reports, provenance=provenance)
+
+
+#: Per-worker artifact seed, installed once by the pool initializer so a
+#: store with many entries is pickled per *worker*, not per chunk.
+_WORKER_SEED_ARTIFACTS: Dict[str, ContextArtifacts] = {}
+
+
+def _seed_worker_artifacts(seed_artifacts: Optional[Dict[str, ContextArtifacts]]) -> None:
+    global _WORKER_SEED_ARTIFACTS
+    _WORKER_SEED_ARTIFACTS = dict(seed_artifacts or {})
+
+
+def _run_job_group(
+    instance_factory: InstanceFactory,
+    jobs: Tuple[SweepJob, ...],
+    collect_artifacts: bool,
+) -> Tuple[List[JobResult], Dict[str, ContextArtifacts]]:
+    """Worker entry point: run one chunk of jobs with a chunk-local store.
+
+    Module-level so it imports cleanly under both ``fork`` and ``spawn``
+    start methods; importing this module (and, transitively, the registry on
+    first dispatch) rehydrates all algorithm registrations in the worker.
+    The store starts from the worker-level seed; only artifacts this chunk
+    computed (or refreshed) are shipped back — seeded entries the parent
+    already holds would be pure return traffic.
+    """
+    seeded = _WORKER_SEED_ARTIFACTS
+    store: Dict[str, ContextArtifacts] = dict(seeded)
+    results = [run_job(instance_factory, job, store) for job in jobs]
+    if not collect_artifacts:
+        return results, {}
+    fresh = {
+        fingerprint: artifacts
+        for fingerprint, artifacts in store.items()
+        if seeded.get(fingerprint) is not artifacts
+    }
+    return results, fresh
+
+
+# --------------------------------------------------------------------------- #
+# Executors
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that can run a :class:`SweepPlan` and return its job results."""
+
+    def run(self, plan: SweepPlan) -> List[JobResult]:
+        ...
+
+
+class SerialExecutor:
+    """Run every job in plan order, in-process — the default executor.
+
+    Behaviour matches the historical ``sweep()`` loop; the only addition is
+    the artifact store, which lets repetitions that rebuild an identical
+    instance reuse its LP solutions (a pure cache: the LP solver is
+    deterministic, so results are unchanged).
+    """
+
+    def __init__(self, artifact_store: Optional[ArtifactStore] = None) -> None:
+        self.artifact_store: ArtifactStore = (
+            artifact_store if artifact_store is not None else {}
+        )
+
+    def run(self, plan: SweepPlan) -> List[JobResult]:
+        return [
+            run_job(plan.instance_factory, job, self.artifact_store)
+            for job in plan.jobs
+        ]
+
+
+class ParallelExecutor:
+    """Fan a plan out over a process pool; results are order-independent.
+
+    Jobs are chunked by sweep value (all repetitions of one sweep point form
+    one chunk) so each instance's repetitions share a worker-local artifact
+    store — the per-instance LP reuse of :class:`SolveContext` survives the
+    fan-out.  Completed chunks are reassembled by job index, so the returned
+    list (and therefore every aggregated table) is identical to a serial
+    run's regardless of worker scheduling.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``1`` still goes through the pool (useful for testing
+        the pickling path).
+    collect_artifacts:
+        When True, worker artifact stores are shipped back and merged into
+        :attr:`artifact_store`, so a later plan run through this executor
+        (or a :class:`SerialExecutor` sharing the store) reuses them across
+        the process boundary.  Off by default: artifacts embed the dense
+        weighted tensors, and sweeps whose factories derive a fresh
+        instance per repetition can never hit them — opt in when instances
+        repeat across jobs or runs.  (Worker-local reuse *within* a chunk
+        is always on and needs no collection.)
+    mp_context:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, ...); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        collect_artifacts: bool = False,
+        artifact_store: Optional[ArtifactStore] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.collect_artifacts = collect_artifacts
+        self.artifact_store: ArtifactStore = (
+            artifact_store if artifact_store is not None else {}
+        )
+        self.mp_context = mp_context
+
+    def _chunks(self, plan: SweepPlan) -> List[Tuple[SweepJob, ...]]:
+        grouped: Dict[int, List[SweepJob]] = {}
+        for job in plan.jobs:
+            grouped.setdefault(job.value_index, []).append(job)
+        return [tuple(grouped[key]) for key in sorted(grouped)]
+
+    def run(self, plan: SweepPlan) -> List[JobResult]:
+        chunks = self._chunks(plan)
+        if not chunks:
+            return []
+        seed_artifacts = dict(self.artifact_store) if self.artifact_store else None
+        mp_ctx = None
+        if self.mp_context is not None:
+            import multiprocessing
+
+            mp_ctx = multiprocessing.get_context(self.mp_context)
+        results: List[JobResult] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            mp_context=mp_ctx,
+            initializer=_seed_worker_artifacts,
+            initargs=(seed_artifacts,),
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_job_group,
+                    plan.instance_factory,
+                    chunk,
+                    self.collect_artifacts,
+                )
+                for chunk in chunks
+            ]
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk_results, artifacts = future.result()
+                    results.extend(chunk_results)
+                    if self.collect_artifacts:
+                        self.artifact_store.update(artifacts)
+        results.sort(key=lambda result: result.job_index)
+        return results
+
+
+__all__ = [
+    "SweepJob",
+    "SweepPlan",
+    "JobResult",
+    "InstanceFactory",
+    "ArtifactStore",
+    "compile_sweep",
+    "compile_grid",
+    "run_algorithms",
+    "run_job",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+]

@@ -7,15 +7,20 @@ resolves the ``paper``-tagged specs and ``_st_baselines`` the
 ``baseline``+``st``-tagged ones — and each instance is solved through one
 shared :class:`~repro.core.pipeline.SolveContext`, so e.g. the full
 ``figure3_small_datasets`` line-up performs a single simplified-LP
-relaxation solve per instance.  Default parameters are laptop-scale (the
-paper used m = 10,000 items and a 1 TB server); pass larger values to
-approach the original scale.  The benchmark modules under ``benchmarks/``
-call these functions and print the resulting tables.
+relaxation solve per instance.  The sweep-based figures (3, 5-8) compile to
+:class:`~repro.experiments.executor.SweepPlan` jobs over the picklable
+:class:`InstanceSweepFactory` and accept an ``executor=`` argument — pass a
+:class:`~repro.experiments.executor.ParallelExecutor` to fan the sweep out
+over a process pool (the table is identical).  Default parameters are
+laptop-scale (the paper used m = 10,000 items and a 1 TB server); pass
+larger values to approach the original scale.  The benchmark modules under
+``benchmarks/`` call these functions and print the resulting tables.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -41,6 +46,7 @@ from repro.data.example_paper import (
     partition_indices,
 )
 from repro.data.user_study import correlation_report, generate_population, simulate_satisfaction
+from repro.experiments.executor import Executor
 from repro.experiments.harness import (
     ExperimentResult,
     default_algorithms,
@@ -51,6 +57,57 @@ from repro.metrics.evaluation import evaluate_result
 from repro.metrics.regret import regret_cdf, regret_ratios
 from repro.metrics.subgroups import subgroup_metrics
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+
+
+# --------------------------------------------------------------------------- #
+# Picklable instance factories (sweep plans ship these to worker processes)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InstanceSweepFactory:
+    """Picklable ``factory(value, rep_seed)`` over the synthetic dataset builders.
+
+    ``vary`` names the dimension the sweep value binds to — ``"n"``
+    (users), ``"m"`` (items), ``"k"`` (slots), ``"dataset"`` (dataset
+    style) or ``"model"`` (utility learning model); the remaining fields
+    are the fixed base configuration.  ``sampled=True`` uses the
+    random-walk-sampled small-dataset builder (Figure 3), otherwise
+    :func:`repro.data.datasets.make_instance`.  Being a frozen module-level
+    dataclass (instead of the closures the figure functions used to build),
+    instances of this factory pickle cleanly into
+    :class:`~repro.experiments.executor.SweepPlan` jobs.
+    """
+
+    dataset: str = "timik"
+    vary: str = "n"
+    num_users: int = 8
+    num_items: int = 20
+    num_slots: int = 3
+    utility_model: str = "piert"
+    sampled: bool = False
+
+    _VARY = ("n", "m", "k", "dataset", "model")
+
+    def __post_init__(self) -> None:
+        if self.vary not in self._VARY:
+            raise ValueError(f"vary must be one of {self._VARY}, got {self.vary!r}")
+
+    def __call__(self, value, rep_seed: int) -> SVGICInstance:
+        users = value if self.vary == "n" else self.num_users
+        items = value if self.vary == "m" else self.num_items
+        slots = value if self.vary == "k" else self.num_slots
+        dataset = value if self.vary == "dataset" else self.dataset
+        model = value if self.vary == "model" else self.utility_model
+        builder = (
+            datasets.small_sampled_instance if self.sampled else datasets.make_instance
+        )
+        return builder(
+            dataset,
+            num_users=int(users),
+            num_items=int(items),
+            num_slots=int(slots),
+            utility_model=model,
+            seed=rep_seed,
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -67,6 +124,7 @@ def figure3_small_datasets(
     repetitions: int = 1,
     include_ip: bool = True,
     ip_time_limit: float = 20.0,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Figure 3(a-f): total utility and execution time on small sampled instances.
 
@@ -77,18 +135,14 @@ def figure3_small_datasets(
     if values is None:
         values = {"n": [5, 8, 11], "m": [10, 20, 30], "k": [2, 3, 4]}[vary]
 
-    def factory(value: int, rep_seed: int) -> SVGICInstance:
-        users = value if vary == "n" else base_users
-        items = value if vary == "m" else base_items
-        slots = value if vary == "k" else base_slots
-        return datasets.small_sampled_instance(
-            "timik",
-            num_users=users,
-            num_items=items,
-            num_slots=slots,
-            seed=rep_seed,
-        )
-
+    factory = InstanceSweepFactory(
+        dataset="timik",
+        vary=vary,
+        num_users=base_users,
+        num_items=base_items,
+        num_slots=base_slots,
+        sampled=True,
+    )
     algorithms = default_algorithms(include_ip=include_ip, ip_time_limit=ip_time_limit)
     return sweep(
         f"figure3-{vary}",
@@ -99,6 +153,7 @@ def figure3_small_datasets(
         seed=seed,
         repetitions=repetitions,
         x_label=vary,
+        executor=executor,
     )
 
 
@@ -151,17 +206,16 @@ def figure5_large_users(
     num_slots: int = 5,
     seed: SeedLike = 2,
     repetitions: int = 1,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Figure 5: total SAVG utility vs the size of the user set on Timik-like data."""
-
-    def factory(value: int, rep_seed: int) -> SVGICInstance:
-        return datasets.make_instance(
-            "timik", num_users=value, num_items=num_items, num_slots=num_slots, seed=rep_seed
-        )
-
+    factory = InstanceSweepFactory(
+        dataset="timik", vary="n", num_items=num_items, num_slots=num_slots
+    )
     return sweep(
         "figure5", "total SAVG utility vs n (Timik-like)", values, factory,
         default_algorithms(), seed=seed, repetitions=repetitions, x_label="n",
+        executor=executor,
     )
 
 
@@ -172,17 +226,15 @@ def figure6_datasets(
     num_items: int = 60,
     num_slots: int = 5,
     seed: SeedLike = 3,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Figure 6: total SAVG utility on the three dataset styles."""
-
-    def factory(dataset: str, rep_seed: int) -> SVGICInstance:
-        return datasets.make_instance(
-            dataset, num_users=num_users, num_items=num_items, num_slots=num_slots, seed=rep_seed
-        )
-
+    factory = InstanceSweepFactory(
+        vary="dataset", num_users=num_users, num_items=num_items, num_slots=num_slots
+    )
     return sweep(
         "figure6", "total SAVG utility per dataset", dataset_names, factory,
-        default_algorithms(), seed=seed, x_label="dataset",
+        default_algorithms(), seed=seed, x_label="dataset", executor=executor,
     )
 
 
@@ -193,22 +245,16 @@ def figure7_input_models(
     num_items: int = 60,
     num_slots: int = 5,
     seed: SeedLike = 4,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Figure 7: total SAVG utility for inputs generated by different learning models."""
-
-    def factory(model: str, rep_seed: int) -> SVGICInstance:
-        return datasets.make_instance(
-            "timik",
-            num_users=num_users,
-            num_items=num_items,
-            num_slots=num_slots,
-            utility_model=model,
-            seed=rep_seed,
-        )
-
+    factory = InstanceSweepFactory(
+        dataset="timik", vary="model", num_users=num_users,
+        num_items=num_items, num_slots=num_slots,
+    )
     return sweep(
         "figure7", "total SAVG utility per utility learning model", models, factory,
-        default_algorithms(), seed=seed, x_label="model",
+        default_algorithms(), seed=seed, x_label="model", executor=executor,
     )
 
 
@@ -223,6 +269,7 @@ def figure8_scalability(
     base_items: int = 60,
     num_slots: int = 4,
     seed: SeedLike = 5,
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Figure 8(a)(b): execution time vs n / m on Yelp-like data (no IP — it times out)."""
     if vary not in {"n", "m"}:
@@ -230,16 +277,13 @@ def figure8_scalability(
     if values is None:
         values = [15, 25, 35] if vary == "n" else [40, 80, 120]
 
-    def factory(value: int, rep_seed: int) -> SVGICInstance:
-        users = value if vary == "n" else base_users
-        items = value if vary == "m" else base_items
-        return datasets.make_instance(
-            "yelp", num_users=users, num_items=items, num_slots=num_slots, seed=rep_seed
-        )
-
+    factory = InstanceSweepFactory(
+        dataset="yelp", vary=vary, num_users=base_users,
+        num_items=base_items, num_slots=num_slots,
+    )
     return sweep(
         f"figure8-{vary}", f"execution time vs {vary} (Yelp-like)", values, factory,
-        default_algorithms(), seed=seed, x_label=vary,
+        default_algorithms(), seed=seed, x_label=vary, executor=executor,
     )
 
 
@@ -726,6 +770,7 @@ def lemma3_independent_rounding(
 
 
 __all__ = [
+    "InstanceSweepFactory",
     "figure3_small_datasets",
     "figure4_lambda",
     "figure5_large_users",

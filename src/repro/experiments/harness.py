@@ -1,20 +1,40 @@
-"""Experiment harness: registry-dispatched line-ups, sweeps and result tables.
+"""Experiment harness: registry line-ups, declarative sweep plans, result tables.
 
 Everything in Section 6 follows the same pattern — build instances, run a
 set of algorithms, collect utility / time / subgroup metrics.  The harness
 factors that pattern out so each figure in :mod:`repro.experiments.figures`
 is a short declarative function.
 
-Algorithm line-ups are *queries over the registry*
-(:mod:`repro.core.registry`): :func:`default_algorithms` resolves the
-paper's seven-way comparison to registered specs instead of hand-built
-lambdas, and any registered name (baselines, ``extension``-tagged variants,
-local-search hybrids) can be mixed into the same dictionary.
-:func:`run_algorithms` builds one shared
-:class:`~repro.core.pipeline.SolveContext` per instance and threads it
-through every context-aware runner, so the whole line-up performs a single
-simplified-LP relaxation solve; the context's hit counters land in each
-report's ``info`` for provenance.
+The harness is layered over three separable pieces:
+
+* **Line-ups** are *queries over the registry*
+  (:mod:`repro.core.registry`): :func:`default_algorithms` resolves the
+  paper's seven-way comparison to registered specs instead of hand-built
+  lambdas, and any registered name (baselines, ``extension``-tagged
+  variants, local-search hybrids) can be mixed into the same dictionary.
+* **Plans**: :func:`sweep` (1-D) and :func:`grid` (2-D) first *compile*
+  the experiment into a :class:`~repro.experiments.executor.SweepPlan` —
+  picklable :class:`~repro.experiments.executor.SweepJob` records carrying
+  the sweep value, repetition, derived seed and the line-up as serializable
+  name+kwargs payloads.  A plan can be inspected, sliced and shipped to
+  workers before anything runs; :func:`run_plan` executes one and
+  aggregates the rows.
+* **Executors** (:mod:`repro.experiments.executor`) decide *where* jobs
+  run: the default :class:`~repro.experiments.executor.SerialExecutor`
+  executes in plan order in-process, and
+  :class:`~repro.experiments.executor.ParallelExecutor` fans out over a
+  process pool — chunked by sweep value so the per-instance
+  :class:`~repro.core.pipeline.SolveContext` LP reuse survives, with
+  deterministic result reassembly, so both executors produce identical
+  tables for the same plan.
+
+:func:`run_algorithms` remains the single-instance entry point: one shared
+:class:`SolveContext` per instance, a single simplified-LP relaxation solve
+for the whole line-up, and a per-algorithm derived seed so results are
+independent of line-up order.  :class:`ExperimentResult` tables round-trip
+through JSON (:meth:`ExperimentResult.to_json` /
+:meth:`ExperimentResult.from_json`), so parallel runs and CI benchmarks can
+dump self-describing results.
 
 Metric computation sits on the vectorized objective engine
 (:mod:`repro.core.objective`), so the per-sweep-point cost is dominated by
@@ -23,17 +43,26 @@ the algorithms themselves (LP solves, rounding passes), not by evaluation.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.pipeline import SolveContext
-from repro.core.problem import SVGICInstance
 from repro.core.registry import build_runners, names_by_tag
 from repro.core.result import AlgorithmResult
-from repro.metrics.evaluation import EvaluationReport, evaluate_result, evaluation_table
-from repro.utils.rng import SeedLike, derive_seed, ensure_rng
+from repro.experiments.executor import (
+    Executor,
+    InstanceFactory,
+    JobResult,
+    SerialExecutor,
+    SweepPlan,
+    compile_grid,
+    compile_sweep,
+    run_algorithms,  # noqa: F401 — the harness's documented dispatch entry point
+)
+from repro.metrics.evaluation import EvaluationReport, evaluation_table
+from repro.utils.rng import SeedLike
 
 AlgorithmRunner = Callable[..., AlgorithmResult]
 
@@ -65,34 +94,6 @@ def default_algorithms(
         "IP": {"time_limit": ip_time_limit},
     }
     return build_runners(names, overrides)
-
-
-def run_algorithms(
-    instance: SVGICInstance,
-    algorithms: Mapping[str, AlgorithmRunner],
-    *,
-    seed: SeedLike = None,
-    context: Optional[SolveContext] = None,
-) -> Dict[str, EvaluationReport]:
-    """Run every algorithm on ``instance`` and evaluate all Section-6 metrics.
-
-    One :class:`SolveContext` (created here unless supplied) is shared by
-    all context-aware runners, so redundant LP relaxation solves are
-    eliminated across the line-up.  Legacy runners — plain callables without
-    the ``accepts_context`` marker — are still invoked as
-    ``runner(instance, rng=...)``.
-    """
-    generator = ensure_rng(seed)
-    if context is None:
-        context = SolveContext(instance)
-    reports: Dict[str, EvaluationReport] = {}
-    for name, runner in algorithms.items():
-        if getattr(runner, "accepts_context", False):
-            result = runner(instance, rng=generator, context=context)
-        else:
-            result = runner(instance, rng=generator)
-        reports[name] = evaluate_result(instance, result)
-    return reports
 
 
 @dataclass
@@ -185,42 +186,196 @@ class ExperimentResult:
         title = f"== {self.name} — {self.description} =="
         return "\n".join([title, rendered[0], separator] + rendered[1:])
 
+    #: Row columns that are never reproducible across runs (wall-clock).
+    NONDETERMINISTIC_COLUMNS = ("seconds",)
+
+    def comparable_rows(self) -> List[Dict[str, Any]]:
+        """Rows with the non-reproducible (wall-clock) columns removed.
+
+        Two runs of the same plan — serial, parallel, or on another machine
+        — must agree on these rows exactly; the equivalence tests and the
+        parallel-sweep benchmark compare them.
+        """
+        return [
+            {
+                key: value
+                for key, value in row.items()
+                if key not in self.NONDETERMINISTIC_COLUMNS
+            }
+            for row in self.rows
+        ]
+
+    # -- persistence ----------------------------------------------------- #
+    FORMAT = "repro.experiment-result.v1"
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """Self-describing JSON dump of the full result table.
+
+        NumPy scalars and arrays are converted to plain Python values, so
+        parallel runs and CI benchmarks can persist tables without custom
+        encoders.  Round-trips through :meth:`from_json` (with arrays coming
+        back as lists, and non-string dict keys as strings — the JSON
+        object-key limitation).
+        """
+        payload = {
+            "format": self.FORMAT,
+            "name": self.name,
+            "description": self.description,
+            "parameters": _jsonify(self.parameters),
+            "rows": _jsonify(self.rows),
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild an :class:`ExperimentResult` from a :meth:`to_json` dump."""
+        payload = json.loads(text)
+        if payload.get("format") != cls.FORMAT:
+            raise ValueError(
+                f"not an experiment-result dump (format={payload.get('format')!r}, "
+                f"expected {cls.FORMAT!r})"
+            )
+        return cls(
+            name=payload["name"],
+            description=payload["description"],
+            rows=list(payload.get("rows", [])),
+            parameters=dict(payload.get("parameters", {})),
+        )
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert NumPy containers/scalars to JSON-serializable values."""
+    if isinstance(value, dict):
+        return {str(key): _jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonify(item) for item in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def run_plan(plan: SweepPlan, executor: Optional[Executor] = None) -> ExperimentResult:
+    """Execute a compiled :class:`SweepPlan` and aggregate rows per sweep point.
+
+    The executor (default: a fresh :class:`SerialExecutor`) returns one
+    :class:`JobResult` per job; rows are averaged over repetitions and
+    emitted in plan order — value-major, then line-up order — regardless of
+    how the executor scheduled the jobs.  Per-job execution provenance (LP
+    solve/hit counters, worker PID, wall time) is kept under
+    ``parameters["job_provenance"]``.
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    job_results = executor.run(plan)
+    by_index: Dict[int, JobResult] = {jr.job_index: jr for jr in job_results}
+    missing = [job.index for job in plan.jobs if job.index not in by_index]
+    if missing:
+        raise RuntimeError(
+            f"executor {type(executor).__name__} returned no result for "
+            f"job(s) {missing} of plan {plan.name!r}; refusing to aggregate a "
+            "partial table"
+        )
+
+    result = ExperimentResult(
+        name=plan.name,
+        description=plan.description,
+        # Copy list-valued parameters so annotating a result table never
+        # mutates the plan it came from.
+        parameters={
+            key: list(value) if isinstance(value, list) else value
+            for key, value in plan.parameters.items()
+        },
+    )
+    # Group by the jobs' own value indices (not range(len(values))): subset
+    # plans keep original indices, so sweep points survive slicing intact.
+    for value_index in sorted({job.value_index for job in plan.jobs}):
+        jobs = [job for job in plan.jobs if job.value_index == value_index]
+        jobs.sort(key=lambda job: job.rep)
+        columns = dict(jobs[0].columns)
+        for alg in jobs[0].algorithm_names:
+            reports = [by_index[job.index].reports[alg] for job in jobs]
+            averaged = _average_reports(reports)
+            averaged.update(columns)
+            averaged["algorithm"] = alg
+            result.rows.append(averaged)
+    result.parameters["job_provenance"] = [jr.provenance for jr in job_results]
+    return result
+
 
 def sweep(
     name: str,
     description: str,
     values: Iterable[Any],
-    instance_factory: Callable[[Any, int], SVGICInstance],
+    instance_factory: InstanceFactory,
     algorithms: Mapping[str, AlgorithmRunner],
     *,
     seed: SeedLike = 0,
     repetitions: int = 1,
     x_label: str = "x",
+    executor: Optional[Executor] = None,
 ) -> ExperimentResult:
     """Run every algorithm over a one-dimensional parameter sweep.
 
     ``instance_factory(value, rep_seed)`` must return the instance for one
     sweep point and repetition; metric rows are averaged over repetitions.
+    The sweep is first compiled into a :class:`SweepPlan` of picklable jobs
+    and then handed to ``executor`` (default: serial; pass a
+    :class:`~repro.experiments.executor.ParallelExecutor` to fan out over a
+    process pool — the table is identical either way).
     """
-    result = ExperimentResult(name=name, description=description,
-                              parameters={"values": list(values), "repetitions": repetitions})
-    for value in result.parameters["values"]:
-        accumulators: Dict[str, List[EvaluationReport]] = {alg: [] for alg in algorithms}
-        for rep in range(repetitions):
-            rep_seed = derive_seed(seed, name, str(value), rep)
-            instance = instance_factory(value, rep_seed)
-            reports = run_algorithms(instance, algorithms, seed=rep_seed)
-            for alg, report in reports.items():
-                accumulators[alg].append(report)
-        for alg, reports in accumulators.items():
-            if not reports:
-                continue
-            averaged = _average_reports(reports)
-            averaged[x_label] = value
-            averaged["x"] = value
-            averaged["algorithm"] = alg
-            result.rows.append(averaged)
-    return result
+    plan = compile_sweep(
+        name,
+        description,
+        values,
+        instance_factory,
+        algorithms,
+        seed=seed,
+        repetitions=repetitions,
+        x_label=x_label,
+    )
+    return run_plan(plan, executor)
+
+
+def grid(
+    name: str,
+    description: str,
+    x_values: Iterable[Any],
+    y_values: Iterable[Any],
+    instance_factory: InstanceFactory,
+    algorithms: Mapping[str, AlgorithmRunner],
+    *,
+    seed: SeedLike = 0,
+    repetitions: int = 1,
+    x_label: str = "x",
+    y_label: str = "y",
+    executor: Optional[Executor] = None,
+) -> ExperimentResult:
+    """Run every algorithm over a two-dimensional parameter grid.
+
+    The factory receives each grid point as one ``(x, y)`` tuple:
+    ``instance_factory((x, y), rep_seed)``.  Rows carry both coordinates
+    (``x_label``/``y_label`` plus the generic ``x``/``y``), so
+    :meth:`ExperimentResult.pivot` can build heat-map style tables.
+    """
+    plan = compile_grid(
+        name,
+        description,
+        x_values,
+        y_values,
+        instance_factory,
+        algorithms,
+        seed=seed,
+        repetitions=repetitions,
+        x_label=x_label,
+        y_label=y_label,
+    )
+    return run_plan(plan, executor)
 
 
 def _average_reports(reports: Sequence[EvaluationReport]) -> Dict[str, Any]:
@@ -242,6 +397,8 @@ __all__ = [
     "default_algorithms",
     "run_algorithms",
     "ExperimentResult",
+    "run_plan",
     "sweep",
+    "grid",
     "evaluation_table",
 ]

@@ -1,0 +1,336 @@
+"""Tests for sweep plans, executors and SolveContext artifact rehydration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SolveContext, instance_fingerprint
+from repro.core.registry import build_runners, runner_payloads
+from repro.data import datasets
+from repro.experiments.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    compile_grid,
+    compile_sweep,
+    run_job,
+)
+from repro.experiments.figures import InstanceSweepFactory
+from repro.experiments.harness import grid, run_algorithms, run_plan, sweep
+
+
+#: Module-level factories pickle under every multiprocessing start method.
+SWEEP_FACTORY = InstanceSweepFactory(
+    dataset="timik", vary="n", num_items=15, num_slots=2
+)
+
+
+class ConstantFactory:
+    """Factory ignoring the repetition seed: every rep shares one instance."""
+
+    def __call__(self, value, rep_seed):
+        return datasets.make_instance(
+            "timik", num_users=int(value), num_items=15, num_slots=2, seed=123
+        )
+
+
+class GridFactory:
+    """2-D factory: value is an ``(n, k)`` pair."""
+
+    def __call__(self, value, rep_seed):
+        n, k = value
+        return datasets.make_instance(
+            "timik", num_users=int(n), num_items=15, num_slots=int(k), seed=rep_seed
+        )
+
+
+def _comparable_rows(result):
+    """Row dicts without the wall-clock columns (never reproducible)."""
+    return result.comparable_rows()
+
+
+class TestPlanCompilation:
+    def test_jobs_cover_values_times_repetitions(self):
+        plan = compile_sweep(
+            "p", "d", [5, 6, 7], SWEEP_FACTORY, build_runners(["PER"]),
+            seed=0, repetitions=2,
+        )
+        assert len(plan) == 6
+        assert [job.value for job in plan.jobs] == [5, 5, 6, 6, 7, 7]
+        assert [job.index for job in plan.jobs] == list(range(6))
+        assert plan.algorithm_names == ("PER",)
+
+    def test_seed_derivation_matches_historical_sweep_loop(self):
+        from repro.utils.rng import derive_seed
+
+        plan = compile_sweep(
+            "p", "d", [5], SWEEP_FACTORY, build_runners(["PER"]), seed=9, repetitions=2
+        )
+        assert plan.jobs[0].rep_seed == derive_seed(9, "p", str(5), 0)
+        assert plan.jobs[1].rep_seed == derive_seed(9, "p", str(5), 1)
+
+    def test_payloads_are_names_not_closures(self):
+        payloads = runner_payloads(build_runners(["AVG"], {"AVG": {"repetitions": 2}}))
+        assert payloads[0].registry_name == "AVG"
+        assert payloads[0].overrides == {"repetitions": 2}
+        assert payloads[0].runner is None
+
+    def test_plan_is_picklable(self):
+        import pickle
+
+        plan = compile_sweep(
+            "p", "d", [5], SWEEP_FACTORY, build_runners(["AVG", "PER"]), seed=0
+        )
+        clone = pickle.loads(pickle.dumps(plan))
+        assert [job.rep_seed for job in clone.jobs] == [
+            job.rep_seed for job in plan.jobs
+        ]
+
+    def test_subset_and_describe(self):
+        plan = compile_sweep(
+            "p", "d", [5, 6], SWEEP_FACTORY, build_runners(["PER"]),
+            seed=0, repetitions=2,
+        )
+        sliced = plan.subset([2, 3])
+        assert [job.value for job in sliced.jobs] == [6, 6]
+        assert sliced.values == [6]
+        text = plan.describe()
+        assert "4 job(s)" in text and "PER" in text
+
+    def test_compile_rejects_bad_repetitions(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            compile_sweep("p", "d", [5], SWEEP_FACTORY, {}, repetitions=0)
+
+    def test_subset_of_non_prefix_values_still_produces_rows(self):
+        """Regression: sliced plans keep original value indices; rows survive."""
+        plan = compile_sweep(
+            "p", "d", [5, 6, 7], SWEEP_FACTORY, build_runners(["PER"]),
+            seed=0, repetitions=1,
+        )
+        last_only = plan.subset([2])  # value 7, original value_index 2
+        result = run_plan(last_only)
+        assert [row["x"] for row in result.rows] == [7]
+        middle_and_last = plan.subset([1, 2])
+        result = run_plan(middle_and_last)
+        assert [row["x"] for row in result.rows] == [6, 7]
+        # Subset metadata describes what is actually left, not the parent.
+        assert middle_and_last.parameters["values"] == [6, 7]
+        assert result.parameters["values"] == [6, 7]
+        assert middle_and_last.parameters["subset_of_jobs"] == 3
+
+    def test_subsets_compose(self):
+        plan = compile_sweep(
+            "p", "d", [5, 6, 7], SWEEP_FACTORY, build_runners(["PER"]),
+            seed=0, repetitions=1,
+        )
+        nested = plan.subset([2]).subset([2])  # value 7, twice
+        assert nested.values == [7]
+        assert nested.parameters["values"] == [7]
+        assert "1 job(s) over 1 value(s)" in nested.describe()
+        result = run_plan(nested)
+        assert [row["x"] for row in result.rows] == [7]
+
+    def test_grid_subset_rebuilds_coordinate_metadata(self):
+        plan = compile_grid(
+            "g", "d", [4, 5], [2, 3], GridFactory(), build_runners(["PER"]),
+            seed=0, x_label="n", y_label="k",
+        )
+        first_point = plan.subset([0])  # (4, 2) only
+        assert first_point.parameters["x_values"] == [4]
+        assert first_point.parameters["y_values"] == [2]
+        text = first_point.describe()
+        assert "n=4 k=2" in text
+
+
+class TestSerialParallelEquivalence:
+    def test_fig3_style_sweep_identical_tables(self):
+        """Acceptance: ParallelExecutor(2) row table == SerialExecutor's."""
+        algorithms = build_runners(["AVG", "PER", "GRF"])
+        common = dict(seed=0, repetitions=2, x_label="n")
+        serial = sweep(
+            "equiv", "serial/parallel equivalence", [5, 6], SWEEP_FACTORY,
+            algorithms, executor=SerialExecutor(), **common,
+        )
+        parallel = sweep(
+            "equiv", "serial/parallel equivalence", [5, 6], SWEEP_FACTORY,
+            algorithms, executor=ParallelExecutor(workers=2), **common,
+        )
+        assert _comparable_rows(serial) == _comparable_rows(parallel)
+        # The parallel run really crossed process boundaries.
+        import os
+
+        pids = {p["pid"] for p in parallel.parameters["job_provenance"]}
+        assert os.getpid() not in pids
+
+    def test_single_worker_pool_matches_serial(self):
+        algorithms = build_runners(["AVG-D"])
+        serial = sweep("one", "d", [5], SWEEP_FACTORY, algorithms, seed=3)
+        pooled = sweep(
+            "one", "d", [5], SWEEP_FACTORY, algorithms, seed=3,
+            executor=ParallelExecutor(workers=1),
+        )
+        assert _comparable_rows(serial) == _comparable_rows(pooled)
+
+    def test_jobs_of_one_value_stay_on_one_worker(self):
+        plan = compile_sweep(
+            "chunk", "d", [5, 6], SWEEP_FACTORY, build_runners(["PER"]),
+            seed=0, repetitions=2,
+        )
+        executor = ParallelExecutor(workers=2)
+        results = executor.run(plan)
+        by_value = {}
+        for job, result in zip(plan.jobs, sorted(results, key=lambda r: r.job_index)):
+            by_value.setdefault(job.value_index, set()).add(result.provenance["pid"])
+        for pids in by_value.values():
+            assert len(pids) == 1
+
+    def test_run_algorithms_is_order_independent(self, small_timik_instance):
+        """Satellite regression: results no longer depend on dict insertion order."""
+        forward = build_runners(["AVG", "GRF", "PER"])
+        backward = dict(reversed(list(build_runners(["AVG", "GRF", "PER"]).items())))
+        assert list(forward) != list(backward)
+        reports_fwd = run_algorithms(small_timik_instance, forward, seed=7)
+        reports_bwd = run_algorithms(small_timik_instance, backward, seed=7)
+        for name in forward:
+            assert reports_fwd[name].total_utility == reports_bwd[name].total_utility
+            np.testing.assert_array_equal(
+                reports_fwd[name].regrets, reports_bwd[name].regrets
+            )
+
+
+class TestGrid:
+    def test_grid_rows_carry_both_coordinates(self):
+        result = grid(
+            "g", "2-D sweep", [4, 5], [2, 3], GridFactory(), build_runners(["PER"]),
+            seed=0, x_label="n", y_label="k",
+        )
+        assert len(result.rows) == 4
+        assert {(row["n"], row["k"]) for row in result.rows} == {
+            (4, 2), (4, 3), (5, 2), (5, 3),
+        }
+        assert all(row["x"] == row["n"] and row["y"] == row["k"] for row in result.rows)
+
+    def test_grid_serial_parallel_equivalence(self):
+        args = ("g", "d", [4, 5], [2, 3], GridFactory(), build_runners(["AVG"]))
+        serial = grid(*args, seed=1)
+        parallel = grid(*args, seed=1, executor=ParallelExecutor(workers=2))
+        assert _comparable_rows(serial) == _comparable_rows(parallel)
+
+    def test_compile_grid_enumerates_the_product(self):
+        plan = compile_grid(
+            "g", "d", [4, 5], [2, 3], GridFactory(), build_runners(["PER"]), seed=0
+        )
+        assert [job.value for job in plan.jobs] == [(4, 2), (4, 3), (5, 2), (5, 3)]
+
+
+class TestContextArtifacts:
+    def test_rehydrated_lp_matches_fresh_solve(self, small_timik_instance):
+        """Acceptance: artifact-rehydrated LP solutions match fresh solves to 1e-9."""
+        ctx = SolveContext(small_timik_instance)
+        solved = ctx.fractional()
+        artifacts = ctx.export_artifacts()
+
+        rehydrated = SolveContext.from_artifacts(small_timik_instance, artifacts)
+        cached = rehydrated.fractional()
+        fresh = SolveContext(small_timik_instance).fractional()
+
+        assert rehydrated.lp_solves == 0
+        assert rehydrated.lp_artifact_hits == 1
+        assert cached.objective == pytest.approx(fresh.objective, abs=1e-9)
+        np.testing.assert_allclose(
+            cached.compact_factors, fresh.compact_factors, atol=1e-9
+        )
+        np.testing.assert_allclose(cached.slot_factors, fresh.slot_factors, atol=1e-9)
+        assert cached.objective == solved.objective
+
+    def test_artifact_hit_counters_distinguish_rehydration(self, small_timik_instance):
+        ctx = SolveContext(small_timik_instance)
+        ctx.fractional()
+        rehydrated = SolveContext.from_artifacts(
+            small_timik_instance, ctx.export_artifacts()
+        )
+        rehydrated.fractional()
+        rehydrated.fractional()
+        rehydrated.fractional(formulation="full")  # miss: solved in-process
+        rehydrated.fractional(formulation="full")  # in-process hit
+        stats = rehydrated.stats()
+        assert stats["lp_requests"] == 4
+        assert stats["lp_solves"] == 1
+        assert stats["lp_hits"] == 3
+        assert stats["lp_artifact_hits"] == 2
+        assert stats["lp_rehydrated_entries"] == 1
+
+    def test_fingerprint_mismatch_raises(self, small_timik_instance, tiny_instance):
+        artifacts = SolveContext(small_timik_instance).export_artifacts()
+        with pytest.raises(ValueError, match="fingerprint"):
+            SolveContext.from_artifacts(tiny_instance, artifacts)
+        relaxed = SolveContext.from_artifacts(
+            tiny_instance, artifacts, strict=False
+        )
+        assert relaxed.lp_requests == 0 and not relaxed._artifact_keys
+
+    def test_fingerprint_is_content_based(self):
+        a = datasets.make_instance("timik", num_users=6, num_items=12, num_slots=2, seed=5)
+        b = datasets.make_instance("timik", num_users=6, num_items=12, num_slots=2, seed=5)
+        c = datasets.make_instance("timik", num_users=6, num_items=12, num_slots=2, seed=6)
+        assert a is not b
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+        assert instance_fingerprint(a) != instance_fingerprint(c)
+
+    def test_artifacts_reused_across_repetitions_sharing_an_instance(self):
+        """Reps rebuilding an identical instance skip the LP solve entirely."""
+        plan = compile_sweep(
+            "shared", "d", [6], ConstantFactory(), build_runners(["AVG", "AVG-D"]),
+            seed=0, repetitions=3,
+        )
+        executor = SerialExecutor()
+        results = executor.run(plan)
+        assert results[0].provenance["lp_solves"] == 1
+        for later in results[1:]:
+            assert later.provenance["lp_solves"] == 0
+            assert later.provenance["lp_artifact_hits"] >= 1
+        assert len(executor.artifact_store) == 1
+
+    def test_artifacts_cross_process_boundaries(self):
+        """Parallel workers ship artifacts back; a later run reuses them."""
+        algorithms = build_runners(["AVG"])
+        plan = compile_sweep(
+            "xproc", "d", [6], ConstantFactory(), algorithms, seed=0, repetitions=2
+        )
+        executor = ParallelExecutor(workers=2, collect_artifacts=True)
+        executor.run(plan)
+        assert len(executor.artifact_store) == 1
+        # A serial executor sharing the store starts with zero LP solves.
+        follow_up = SerialExecutor(artifact_store=executor.artifact_store)
+        results = follow_up.run(plan)
+        assert all(r.provenance["lp_solves"] == 0 for r in results)
+
+    def test_run_job_without_store_still_counts(self):
+        plan = compile_sweep(
+            "nostore", "d", [5], SWEEP_FACTORY, build_runners(["AVG"]), seed=0
+        )
+        result = run_job(plan.instance_factory, plan.jobs[0], None)
+        assert result.provenance["lp_solves"] == 1
+        assert result.provenance["lp_artifact_hits"] == 0
+
+
+class TestLegacyRunners:
+    def test_serial_executor_accepts_plain_callables(self):
+        from repro.baselines.personalized import run_per
+
+        def legacy(instance, rng=None):
+            return run_per(instance)
+
+        result = sweep("legacy", "d", [5], SWEEP_FACTORY, {"PER": legacy}, seed=0)
+        assert len(result.rows) == 1
+        assert result.rows[0]["algorithm"] == "PER"
+
+    def test_parallel_executor_rejects_unpicklable_closures(self):
+        from repro.baselines.personalized import run_per
+
+        result_lambda = {"PER": lambda instance, rng=None: run_per(instance)}
+        with pytest.raises(Exception):  # pickling error from the pool
+            sweep(
+                "legacy", "d", [5], SWEEP_FACTORY, result_lambda, seed=0,
+                executor=ParallelExecutor(workers=1),
+            )

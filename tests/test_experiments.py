@@ -182,3 +182,72 @@ class TestCaseStudyNarration:
         assert "Focal user" in text
         assert "AVG-D" in text
         assert 0 <= study.focal_user < instance.num_users
+
+
+class TestResultPersistence:
+    """ExperimentResult.to_json / from_json round-trip (satellite task)."""
+
+    def test_round_trip_preserves_rows_and_parameters(self):
+        algorithms = {"PER": lambda instance, rng=None: __import__("repro").run_per(instance)}
+
+        def factory(value, seed):
+            return datasets.make_instance(
+                "timik", num_users=value, num_items=15, num_slots=2, seed=seed
+            )
+
+        result = sweep("dump", "json round-trip", [5, 6], factory, algorithms, seed=0)
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.name == result.name
+        assert restored.description == result.description
+        assert len(restored.rows) == len(result.rows)
+        for original, loaded in zip(result.rows, restored.rows):
+            assert loaded["algorithm"] == original["algorithm"]
+            assert loaded["total_utility"] == original["total_utility"]
+            assert loaded["x"] == original["x"]
+        assert restored.parameters["values"] == [5, 6]
+        # Self-describing: provenance counters survive the dump.
+        assert restored.parameters["job_provenance"][0]["lp_requests"] >= 0
+
+    def test_numpy_values_are_converted(self):
+        result = ExperimentResult("np", "numpy sanitation")
+        result.add_row(
+            algorithm="A",
+            total_utility=np.float64(1.5),
+            count=np.int64(3),
+            flag=np.bool_(True),
+            series=np.arange(3),
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        row = restored.rows[0]
+        assert row["total_utility"] == 1.5
+        assert row["count"] == 3
+        assert row["flag"] is True
+        assert row["series"] == [0, 1, 2]
+
+    def test_rejects_foreign_payloads(self):
+        with pytest.raises(ValueError, match="format"):
+            ExperimentResult.from_json('{"format": "something-else"}')
+
+
+class TestFigureExecutorPassthrough:
+    """Figure sweeps run unchanged through an explicit executor."""
+
+    def test_figure3_through_parallel_executor_matches_serial(self):
+        from repro.experiments import ParallelExecutor
+
+        kwargs = dict(
+            values=[5, 6], base_items=12, base_slots=2, include_ip=False, repetitions=1
+        )
+        serial = figures.figure3_small_datasets("n", **kwargs)
+        parallel = figures.figure3_small_datasets(
+            "n", executor=ParallelExecutor(workers=2), **kwargs
+        )
+        assert serial.comparable_rows() == parallel.comparable_rows()
+
+    def test_figure_factories_are_picklable(self):
+        import pickle
+
+        factory = figures.InstanceSweepFactory(dataset="yelp", vary="m", num_users=7)
+        clone = pickle.loads(pickle.dumps(factory))
+        instance = clone(12, 4)
+        assert instance.num_items == 12 and instance.num_users == 7

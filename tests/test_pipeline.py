@@ -205,3 +205,81 @@ class TestLocalSearchImprover:
             LocalSearchImprover(max_passes=0)
         with pytest.raises(ValueError):
             LocalSearchImprover(tolerance=-1.0)
+
+
+class TestProbeMany:
+    """DeltaEvaluator.probe_many is pinned to the scalar set_cell probe."""
+
+    def _scalar_probes(self, evaluator, user, slot, candidates):
+        old = int(evaluator.assignment[user, slot])
+        base = evaluator.total
+        gains = []
+        for item in candidates:
+            item = int(item)
+            if item == old:
+                gains.append(0.0)
+                continue
+            gains.append(evaluator.set_cell(user, slot, item) - base)
+            evaluator.set_cell(user, slot, old)
+        return np.asarray(gains)
+
+    @pytest.mark.parametrize("fixture_name", ["small_timik_instance", "small_st_instance"])
+    def test_matches_scalar_probe_on_every_unit(self, fixture_name, request):
+        from repro.core.objective import DeltaEvaluator
+
+        instance = request.getfixturevalue(fixture_name)
+        rng = np.random.default_rng(17)
+        config = _random_valid_configuration(instance, rng)
+        evaluator = DeltaEvaluator(instance, config)
+        candidates = np.arange(instance.num_items, dtype=np.int64)
+        for user in range(instance.num_users):
+            for slot in range(instance.num_slots):
+                batched = evaluator.probe_many((user, slot), candidates)
+                scalar = self._scalar_probes(evaluator, user, slot, candidates)
+                np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_probe_does_not_mutate_state(self, small_timik_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        rng = np.random.default_rng(3)
+        config = _random_valid_configuration(small_timik_instance, rng)
+        evaluator = DeltaEvaluator(small_timik_instance, config)
+        before_total = evaluator.total
+        before_assignment = evaluator.assignment.copy()
+        evaluator.probe_many((0, 0), np.arange(small_timik_instance.num_items))
+        assert evaluator.total == before_total
+        np.testing.assert_array_equal(evaluator.assignment, before_assignment)
+
+    def test_probe_on_partial_configuration(self, tiny_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        config = SAVGConfiguration.for_instance(tiny_instance)
+        config.assignment[0, 0] = 1  # user 0: one assigned, one empty unit
+        evaluator = DeltaEvaluator(tiny_instance, config)
+        candidates = np.arange(tiny_instance.num_items, dtype=np.int64)
+        batched = evaluator.probe_many((0, 1), candidates)
+        scalar = self._scalar_probes(evaluator, 0, 1, candidates)
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_rejects_out_of_range_candidates(self, tiny_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        evaluator = DeltaEvaluator(tiny_instance)
+        with pytest.raises(ValueError, match="candidate item"):
+            evaluator.probe_many((0, 0), np.array([tiny_instance.num_items]))
+
+    def test_empty_candidate_list(self, tiny_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        evaluator = DeltaEvaluator(tiny_instance)
+        assert evaluator.probe_many((0, 0), np.array([], dtype=np.int64)).size == 0
+
+    def test_improver_batched_moves_match_scratch_evaluation(self, small_timik_instance):
+        """End-to-end: the batched improver still only makes true improvements."""
+        config = top_k_preference_configuration(small_timik_instance)
+        outcome = LocalSearchImprover().apply(small_timik_instance, config)
+        trace = outcome.info["utility_trace"]
+        assert all(b >= a - 1e-12 for a, b in zip(trace, trace[1:]))
+        assert outcome.info["final_utility"] == pytest.approx(
+            total_utility(small_timik_instance, outcome.configuration), abs=1e-9
+        )
