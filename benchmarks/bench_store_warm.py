@@ -1,0 +1,142 @@
+"""Warm-store benchmark: repeated sweeps pay zero LP solves, resume for free.
+
+Acceptance properties of the persistent artifact/result store
+(:mod:`repro.store`), measured on a figure-3-style sweep:
+
+* **Warm LP reuse** — a repeat of the sweep against an already-warm store
+  (``resume=False``, so every job re-executes) performs **zero** LP
+  relaxation solves: every job's provenance reports ``lp_solves == 0`` and
+  ``lp_store_hits >= 1`` for its instance, and the resulting table is
+  identical to the first run's.
+* **Checkpoint resume** — a third run of the same plan (default
+  ``resume=True``) yields every job from its persisted checkpoint without
+  executing anything, again with an identical table.
+
+Run as a script (not collected by pytest — benchmarks use the ``bench_``
+prefix on purpose)::
+
+    PYTHONPATH=src python benchmarks/bench_store_warm.py [--quick] [--store DIR]
+
+``--store DIR`` points at a persistent store directory (CI caches it across
+workflow runs via ``actions/cache``, so the "first" run may itself already
+be warm — every assertion below is valid either way); without it a
+temporary directory is used.  ``--quick`` shrinks the sweep; it is the mode
+the CI smoke job runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+from repro.core.registry import build_runners
+from repro.experiments.executor import SerialExecutor, compile_sweep
+from repro.experiments.figures import InstanceSweepFactory
+from repro.experiments.harness import run_plan
+from repro.store import ArtifactStore
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: a smaller sweep grid",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent store directory (default: a fresh temporary one)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        values, repetitions = [5, 8], 2
+    else:
+        values, repetitions = [5, 8, 11], 3
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-store-")
+    store = ArtifactStore(store_dir)
+    print(f"Artifact store: {store_dir}")
+
+    factory = InstanceSweepFactory(
+        dataset="timik", vary="n", num_items=20, num_slots=3, sampled=True
+    )
+    algorithms = build_runners(["AVG", "AVG-D", "PER"], {"AVG": {"repetitions": 3}})
+    plan = compile_sweep(
+        "bench-store-warm",
+        f"figure-3-style sweep, n in {values}",
+        values,
+        factory,
+        algorithms,
+        seed=0,
+        repetitions=repetitions,
+    )
+    print(f"Sweep plan: {len(plan)} jobs ({len(values)} values x {repetitions} reps), "
+          f"line-up {', '.join(plan.algorithm_names)}")
+
+    # Run 1 — cold on a fresh directory; possibly warm when CI restored a
+    # cached store (then it resumes from checkpoints, which is the point).
+    start = time.perf_counter()
+    first = run_plan(plan, SerialExecutor(store=store))
+    first_seconds = time.perf_counter() - start
+    print(f"\nRun 1 (cold or cache-restored): {first_seconds:.2f}s")
+    print(first.to_text())
+
+    # Run 2 — re-execute every job (resume=False) against the now-warm store:
+    # the acceptance run. Each job's SolveContext must find its LP solution
+    # on disk instead of solving.
+    start = time.perf_counter()
+    warm = run_plan(plan, SerialExecutor(store=store, resume=False))
+    warm_seconds = time.perf_counter() - start
+    provenance = warm.parameters["job_provenance"]
+    total_store_hits = sum(p["lp_store_hits"] for p in provenance)
+    total_solves = sum(p["lp_solves"] for p in provenance)
+    print(f"\nRun 2 (warm store, jobs re-executed): {warm_seconds:.2f}s — "
+          f"lp_solves={total_solves}, lp_store_hits={total_store_hits} "
+          f"over {len(provenance)} jobs")
+
+    failures: List[str] = []
+    for p in provenance:
+        if p["lp_solves"] != 0:
+            failures.append(
+                f"job {p['job_index']} performed {p['lp_solves']} LP solve(s) "
+                "against a warm store"
+            )
+        if p["lp_store_hits"] < 1:
+            failures.append(
+                f"job {p['job_index']} reports {p['lp_store_hits']} store hits "
+                "(expected >= 1 per instance)"
+            )
+    if first.comparable_rows() != warm.comparable_rows():
+        failures.append("warm-store table differs from the first run's")
+
+    # Run 3 — default resume: every job comes straight from its checkpoint.
+    start = time.perf_counter()
+    resumed_executor = SerialExecutor(store=store)
+    resumed = run_plan(plan, resumed_executor)
+    resumed_seconds = time.perf_counter() - start
+    print(f"Run 3 (checkpoint resume): {resumed_seconds:.2f}s — "
+          f"{resumed_executor.jobs_resumed} resumed, "
+          f"{resumed_executor.jobs_executed} executed")
+    if resumed_executor.jobs_resumed != len(plan):
+        failures.append(
+            f"expected all {len(plan)} jobs resumed, got {resumed_executor.jobs_resumed}"
+        )
+    if resumed.comparable_rows() != first.comparable_rows():
+        failures.append("resumed table differs from the first run's")
+
+    print(f"\nStore counters: {store.stats()}")
+    if failures:
+        print("\nFAIL")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: warm repeat solved 0 LPs, checkpoint resume executed 0 jobs, "
+          "all tables identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

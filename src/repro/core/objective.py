@@ -424,13 +424,12 @@ class DeltaEvaluator:
         evaluator.  Entries for candidates equal to the currently displayed
         item are 0.  This batches the single-cell candidate loop of the local
         search improver into one vectorized pass: the cost is
-        ``O(deg(user) + m + |candidates|)`` for plain SVGIC instances instead
-        of ``O(deg(user) * k)`` per candidate.
-
-        SVGIC-ST instances fall back to exact probe/revert :meth:`set_cell`
-        pairs per candidate (the teleportation term couples a move to the
-        item counts of both endpoints across all slots), so the result is
-        bit-identical to the scalar probes in every case.
+        ``O(deg(user) + m + |candidates|)`` for plain SVGIC instances and
+        ``O(deg(user) * m)`` for SVGIC-ST (the teleportation term couples a
+        move to the item counts of both endpoints across all slots) instead
+        of ``O(deg(user) * k)`` per candidate.  Both paths are pinned
+        bit-for-bit to the scalar probe/revert loop by the equivalence tests
+        in ``tests/test_pipeline.py``.
         """
         user, slot = int(unit[0]), int(unit[1])
         candidates = np.asarray(candidates, dtype=np.int64)
@@ -441,17 +440,6 @@ class DeltaEvaluator:
                 f"candidate item outside [0, {self.instance.num_items})"
             )
         old = int(self.assignment[user, slot])
-
-        if self._is_st:
-            base = self.total
-            deltas = np.zeros(candidates.shape[0], dtype=float)
-            for i, item in enumerate(candidates):
-                item = int(item)
-                if item == old:
-                    continue
-                deltas[i] = self.set_cell(user, slot, item) - base
-                self.set_cell(user, slot, old)  # exact revert
-            return deltas
 
         pref = self.instance.preference[user]
         old_pref = float(pref[old]) if old != UNASSIGNED else 0.0
@@ -476,8 +464,85 @@ class DeltaEvaluator:
                     self._lam * self._pair_social[pids[assigned], shown[assigned]],
                 )
             deltas += gain[candidates] - loss
+            if self._is_st:
+                deltas += self._st_indirect_deltas(
+                    user, slot, candidates, old, pids, others, shown, assigned
+                )
         deltas[candidates == old] = 0.0
         return deltas
+
+    def _st_indirect_deltas(
+        self,
+        user: int,
+        slot: int,
+        candidates: np.ndarray,
+        old: int,
+        pids: np.ndarray,
+        others: np.ndarray,
+        shown: np.ndarray,
+        assigned: np.ndarray,
+    ) -> np.ndarray:
+        """Teleportation (indirect co-display) part of :meth:`probe_many`'s deltas.
+
+        For every pair ``(user, v)`` and item ``c``, the discounted indirect
+        term ``d_tel * lambda * w^c`` applies exactly when both endpoints
+        display ``c`` somewhere but share *no* direct (same-slot) match.
+        Changing the cell ``(user, slot)`` from ``old`` to a candidate ``c``
+        moves both indicators; this computes the difference for every item at
+        once from three ``(deg, m)`` Boolean structures — the per-pair direct
+        match counts ``D``, the probed-slot matches, and the neighbours' item
+        memberships — mirroring the scalar bookkeeping of
+        :meth:`_social_around` term for term.
+        """
+        instance = self.instance
+        deg, m = pids.size, instance.num_items
+        weights = self._lam * self._d_tel * self._pair_social[pids]  # (deg, m)
+        row_u = self.assignment[user]
+        rows_v = self.assignment[others]  # (deg, k)
+
+        # D[p, c]: slots where both endpoints of pair p currently display c.
+        direct_counts = np.zeros((deg, m), dtype=np.int64)
+        matches = (rows_v == row_u[None, :]) & (row_u[None, :] != UNASSIGNED)
+        if np.any(matches):
+            pair_rows = np.broadcast_to(np.arange(deg)[:, None], matches.shape)[matches]
+            matched_items = np.broadcast_to(row_u[None, :], matches.shape)[matches]
+            np.add.at(direct_counts, (pair_rows, matched_items), 1)
+
+        # One-hot of each neighbour's item at the probed slot.
+        slot_match = np.zeros((deg, m), dtype=bool)
+        slot_match[np.arange(deg)[assigned], shown[assigned]] = True
+
+        other_has = self._item_count[others] > 0  # (deg, m)
+        user_has = self._item_count[user] > 0  # (m,)
+        no_direct = direct_counts == 0
+
+        # Placing c: afterwards user surely displays c; a pair is indirect on
+        # c iff the neighbour has c and no slot (old D plus the new probed
+        # slot) matches directly.  Before, it required the user to already
+        # display c with no direct match.
+        after_item = no_direct & ~slot_match & other_has
+        before_item = user_has[None, :] & no_direct & other_has
+        item_delta = (
+            weights * (after_item.astype(float) - before_item.astype(float))
+        ).sum(axis=0)
+
+        # Removing old from the probed slot: its direct matches there vanish
+        # and the user's copy count drops by one.
+        old_delta = 0.0
+        if old != UNASSIGNED:
+            match_old = assigned & (shown == old)
+            before_old = no_direct[:, old] & other_has[:, old]  # user_has[old] is True
+            counts_after = direct_counts[:, old] - match_old.astype(np.int64)
+            after_old = (
+                (self._item_count[user, old] > 1)
+                & (counts_after == 0)
+                & other_has[:, old]
+            )
+            old_delta = float(
+                (weights[:, old] * (after_old.astype(float) - before_old.astype(float))).sum()
+            )
+
+        return item_delta[candidates] + old_delta
 
     # ------------------------------------------------------------------ #
     @property

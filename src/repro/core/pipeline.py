@@ -126,21 +126,42 @@ class SolveContext:
         The subset of cache hits served by entries rehydrated from
         :class:`ContextArtifacts` (as opposed to solves performed by this
         context in-process).
+    lp_store_hits:
+        Requests served by an attached persistent store
+        (:class:`repro.store.ArtifactStore` or anything exposing
+        ``load_lp``/``save_lp``): the load itself plus every later
+        in-memory cache hit on a store-loaded entry.  These survive process
+        *and invocation* boundaries — a warm store makes ``lp_solves`` zero.
     """
 
-    def __init__(self, instance: SVGICInstance) -> None:
+    def __init__(self, instance: SVGICInstance, *, store: Optional[Any] = None) -> None:
         self.instance = instance
         self.lp_requests = 0
         self.lp_solves = 0
         self.lp_artifact_hits = 0
+        self.lp_store_hits = 0
         self.last_fractional_was_hit = False
         self._lp_cache: Dict[Tuple[Any, ...], FractionalSolution] = {}
         self._artifact_keys: set = set()
+        self._store = store
+        self._store_keys: set = set()
         self._candidate_cache: Dict[Optional[int], np.ndarray] = {}
         self._preference_weight: Optional[np.ndarray] = None
         self._pair_weight: Optional[np.ndarray] = None
         self._candidate_scores: Optional[np.ndarray] = None
         self._fingerprint: Optional[str] = None
+
+    def attach_store(self, store: Any) -> None:
+        """Attach a persistent LP store consulted on cache misses.
+
+        ``store`` must expose ``load_lp(fingerprint, key)`` and
+        ``save_lp(fingerprint, key, solution)`` (duck-typed so the core
+        layer stays import-free of :mod:`repro.store`).  Misses of the
+        in-memory cache fall through to the store before they fall through
+        to the LP solver, and fresh solves are written through immediately,
+        so repeated runs on the same machine pay each LP exactly once.
+        """
+        self._store = store
 
     # -- artifact export / rehydration ---------------------------------- #
     @property
@@ -258,7 +279,17 @@ class SolveContext:
             self.last_fractional_was_hit = True
             if key in self._artifact_keys:
                 self.lp_artifact_hits += 1
+            if key in self._store_keys:
+                self.lp_store_hits += 1
             return cached
+        if self._store is not None:
+            stored = self._store.load_lp(self.fingerprint, key)
+            if stored is not None:
+                self.last_fractional_was_hit = True
+                self.lp_store_hits += 1
+                self._lp_cache[key] = stored
+                self._store_keys.add(key)
+                return stored
         self.last_fractional_was_hit = False
         self.lp_solves += 1
         solution = solve_lp_relaxation(
@@ -269,11 +300,13 @@ class SolveContext:
             enforce_size_constraint=enforce_size_constraint,
         )
         self._lp_cache[key] = solution
+        if self._store is not None:
+            self._store.save_lp(self.fingerprint, key, solution)
         return solution
 
     @property
     def lp_hits(self) -> int:
-        """Number of :meth:`fractional` requests served from the cache."""
+        """Requests served without touching the LP solver (cache or store)."""
         return self.lp_requests - self.lp_solves
 
     def lp_upper_bound(self) -> float:
@@ -283,15 +316,17 @@ class SolveContext:
     def stats(self) -> Dict[str, int]:
         """Counter snapshot for provenance reporting.
 
-        ``lp_hits`` counts every request served from the cache;
+        ``lp_hits`` counts every request served without a solve;
         ``lp_artifact_hits`` is the subset served by entries rehydrated from
-        artifacts (so ``lp_hits - lp_artifact_hits`` are in-process hits).
+        artifacts, and ``lp_store_hits`` the subset served by an attached
+        persistent store (the remainder are plain in-process hits).
         """
         return {
             "lp_requests": self.lp_requests,
             "lp_solves": self.lp_solves,
             "lp_hits": self.lp_hits,
             "lp_artifact_hits": self.lp_artifact_hits,
+            "lp_store_hits": self.lp_store_hits,
             "lp_rehydrated_entries": len(self._artifact_keys),
         }
 

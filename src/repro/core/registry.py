@@ -255,17 +255,49 @@ class AlgorithmPayload:
     callables travel as the callable itself in ``runner`` — fine for
     module-level functions, but closures/lambdas cannot cross a process
     boundary and fail with the standard pickling error.
+
+    ``bind`` maps keyword-argument names to *sweep column labels*: at
+    rehydration time each bound kwarg takes its value from the job's column
+    mapping, so a plan can scan an **algorithm parameter** (e.g. figure 12's
+    ``balancing_ratio``) declaratively — the sweep coordinate becomes the
+    runner kwarg, with the payload staying pure picklable data.
     """
 
     display_name: str
     registry_name: Optional[str] = None
     overrides: Mapping[str, Any] = field(default_factory=dict)
     runner: Optional[AlgorithmRunner] = None
+    bind: Mapping[str, str] = field(default_factory=dict)
 
-    def rehydrate(self) -> AlgorithmRunner:
-        """Rebuild the harness-compatible runner this payload describes."""
+    def rehydrate(
+        self, columns: Optional[Mapping[str, Any]] = None
+    ) -> AlgorithmRunner:
+        """Rebuild the harness-compatible runner this payload describes.
+
+        ``columns`` is the job's sweep-point column mapping; it is required
+        exactly when the payload carries ``bind`` entries.
+        """
+        overrides = dict(self.overrides)
+        if self.bind:
+            if self.registry_name is None:
+                raise ValueError(
+                    f"payload {self.display_name!r} binds sweep columns but is "
+                    "not registry-backed; plain callables take no kwargs"
+                )
+            if columns is None:
+                raise ValueError(
+                    f"payload {self.display_name!r} binds sweep columns "
+                    f"{sorted(self.bind.values())} but no columns were provided"
+                )
+            for kwarg, column in self.bind.items():
+                if column not in columns:
+                    raise KeyError(
+                        f"payload {self.display_name!r} binds kwarg {kwarg!r} to "
+                        f"column {column!r}, absent from {sorted(columns)}"
+                    )
+                overrides[kwarg] = columns[column]
         if self.registry_name is not None:
-            return _BoundRunner(self.registry_name, self.overrides)
+            return _BoundRunner(self.registry_name, overrides)
         if self.runner is None:
             raise ValueError(
                 f"payload {self.display_name!r} carries neither a registry name "
@@ -275,25 +307,43 @@ class AlgorithmPayload:
 
 
 def runner_payloads(
-    algorithms: Mapping[str, AlgorithmRunner]
+    algorithms: Mapping[str, AlgorithmRunner],
+    bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> Tuple[AlgorithmPayload, ...]:
     """Convert a harness ``{name: runner}`` dict into serializable payloads.
 
     Registry-bound runners (anything produced by :func:`build_runners`)
     become pure name+kwargs records; other callables are carried verbatim.
     Order is preserved — it determines the line-up's evaluation order.
+    ``bindings`` optionally maps display names to ``{kwarg: column label}``
+    bindings resolved per job at rehydration time (see
+    :class:`AlgorithmPayload`); binding a non-registry callable raises.
     """
+    bindings = bindings or {}
+    unknown = set(bindings) - set(algorithms)
+    if unknown:
+        raise KeyError(
+            f"bindings reference unknown algorithm(s) {sorted(unknown)}; "
+            f"line-up is {sorted(algorithms)}"
+        )
     payloads = []
     for display_name, runner in algorithms.items():
+        bind = dict(bindings.get(display_name, {}))
         if isinstance(runner, _BoundRunner):
             payloads.append(
                 AlgorithmPayload(
                     display_name=display_name,
                     registry_name=runner.name,
                     overrides=dict(runner.overrides),
+                    bind=bind,
                 )
             )
         else:
+            if bind:
+                raise ValueError(
+                    f"algorithm {display_name!r} is not registry-backed; "
+                    "column bindings require a registry runner"
+                )
             payloads.append(AlgorithmPayload(display_name=display_name, runner=runner))
     return tuple(payloads)
 

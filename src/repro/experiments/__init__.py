@@ -10,6 +10,8 @@ from repro.experiments.executor import (
     SweepPlan,
     compile_grid,
     compile_sweep,
+    job_checkpoint_key,
+    plan_signature,
 )
 from repro.experiments.harness import (
     ExperimentResult,
@@ -33,6 +35,8 @@ __all__ = [
     "JobResult",
     "compile_sweep",
     "compile_grid",
+    "plan_signature",
+    "job_checkpoint_key",
     "SerialExecutor",
     "ParallelExecutor",
     "CaseStudy",

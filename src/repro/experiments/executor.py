@@ -26,6 +26,18 @@ The experiment layer separates *what* a sweep runs from *how* it runs:
   worker artifacts back to the parent is opt-in —
   ``ParallelExecutor(collect_artifacts=True)`` — since sweeps with a fresh
   instance per job can never reuse them).
+* Execution is **streaming and resumable**: :meth:`Executor.iter_run` yields
+  :class:`JobResult` records as jobs finish (completion order, not plan
+  order) and ``run()`` is a thin deterministic-reorder wrapper over the
+  stream.  With a persistent ``store=``
+  (:class:`repro.store.ArtifactStore`), every finished job is checkpointed
+  under the plan's scope signature (:func:`plan_signature`) and its own
+  content key (:func:`job_checkpoint_key`) the moment it completes, each
+  job's :class:`~repro.core.pipeline.SolveContext` consults
+  the store for LP solutions before solving (``lp_store_hits`` in the
+  provenance counts reuses across invocations), and a re-run of the same
+  plan resumes from the persisted results — an interrupted sweep completes
+  only its unfinished jobs.
 
 Seeding is order-independent by construction: each job derives its
 repetition seed from ``(sweep name, value, rep)`` and each algorithm run
@@ -37,6 +49,7 @@ aggregate.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -46,6 +59,7 @@ from typing import (
     Callable,
     Dict,
     Iterable,
+    Iterator,
     List,
     Mapping,
     MutableMapping,
@@ -195,18 +209,23 @@ def compile_sweep(
     seed: SeedLike = 0,
     repetitions: int = 1,
     x_label: str = "x",
+    bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> SweepPlan:
     """Compile a one-dimensional sweep into a :class:`SweepPlan`.
 
     ``instance_factory(value, rep_seed)`` must return the instance for one
     sweep point and repetition; the seed derivation matches the historical
     ``sweep()`` loop (``derive_seed(seed, name, str(value), rep)``), so
-    compiled plans reproduce pre-plan experiment tables.
+    compiled plans reproduce pre-plan experiment tables.  ``bindings``
+    optionally maps algorithm display names to ``{kwarg: column label}``
+    records resolved per job (see
+    :class:`~repro.core.registry.AlgorithmPayload`), which lets a sweep scan
+    an algorithm parameter instead of an instance dimension.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     values = list(values)
-    payloads = runner_payloads(algorithms)
+    payloads = runner_payloads(algorithms, bindings)
     jobs: List[SweepJob] = []
     for value_index, value in enumerate(values):
         for rep in range(repetitions):
@@ -245,18 +264,21 @@ def compile_grid(
     repetitions: int = 1,
     x_label: str = "x",
     y_label: str = "y",
+    bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> SweepPlan:
     """Compile a two-dimensional sweep (every ``(x, y)`` combination).
 
     The factory receives the point as one value: ``instance_factory((x, y),
     rep_seed)``.  Result rows carry both labelled coordinates plus the
-    generic ``x`` / ``y`` columns used by the pivot helpers.
+    generic ``x`` / ``y`` columns used by the pivot helpers.  ``bindings``
+    resolves algorithm kwargs from those columns per job, exactly as in
+    :func:`compile_sweep`.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions}")
     x_values, y_values = list(x_values), list(y_values)
     points = [(x, y) for x in x_values for y in y_values]
-    payloads = runner_payloads(algorithms)
+    payloads = runner_payloads(algorithms, bindings)
     jobs: List[SweepJob] = []
     for value_index, (x, y) in enumerate(points):
         for rep in range(repetitions):
@@ -286,6 +308,77 @@ def compile_grid(
             "repetitions": repetitions,
         },
     )
+
+
+def plan_signature(plan: SweepPlan) -> str:
+    """Stable hash of a plan's *scope*: the namespace its checkpoints live in.
+
+    Covers the instance factory, plan name and axis labels — everything a
+    job's own checkpoint key (:func:`job_checkpoint_key`) does not.  The
+    factory enters via its ``repr`` when that is deterministic (frozen
+    dataclasses), falling back to its qualified name — factories whose
+    behaviour changes without either changing are indistinguishable, so
+    version such factories by renaming them or bumping a field.
+
+    Repetitions and sweep values are deliberately *not* part of the scope:
+    they are captured per job, so a re-compile with more values or more
+    repetitions resumes every job it shares with the earlier run and
+    executes only the new ones (and :meth:`SweepPlan.subset` runs share
+    checkpoints with their parent plan).
+    """
+    factory = plan.instance_factory
+    factory_repr = repr(factory)
+    if " at 0x" in factory_repr:  # default object/function repr: memory address
+        factory_repr = (
+            f"{getattr(factory, '__module__', type(factory).__module__)}."
+            f"{getattr(factory, '__qualname__', type(factory).__qualname__)}"
+        )
+    digest = hashlib.sha256()
+    digest.update(factory_repr.encode("utf-8"))
+    digest.update(repr((plan.name, plan.x_label, plan.y_label)).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def job_checkpoint_key(job: SweepJob) -> str:
+    """Content key of one job's persistent checkpoint within a plan's scope.
+
+    Hashes everything that determines the job's result — sweep value,
+    repetition, derived seed and the full algorithm payloads (names,
+    overrides, column bindings) — but *not* the job's position in the plan,
+    so :meth:`SweepPlan.subset` plans and extended recompiles (more values,
+    more repetitions) share checkpoints with the original run even when job
+    indices shift.  Executors renumber a resumed result to the current
+    plan's indices (:func:`_as_resumed`).  Two plans sharing a scope can
+    only collide on a key when the jobs would compute the same thing.
+    """
+    payloads = tuple(
+        (
+            payload.display_name,
+            payload.registry_name,
+            tuple(sorted(payload.overrides.items())),
+            tuple(sorted(payload.bind.items())),
+            None
+            if payload.runner is None
+            else getattr(payload.runner, "__qualname__", repr(payload.runner)),
+        )
+        for payload in job.algorithms
+    )
+    return hashlib.sha256(
+        repr((job.value, job.rep, job.rep_seed, payloads)).encode("utf-8")
+    ).hexdigest()
+
+
+def _as_resumed(cached: "JobResult", job: SweepJob) -> "JobResult":
+    """Renumber a checkpointed result to the resuming plan's job index.
+
+    The checkpoint key is position-independent, so the stored ``job_index``
+    reflects the plan that *wrote* it; aggregation maps results by the
+    current plan's indices.
+    """
+    cached.job_index = job.index
+    cached.provenance["job_index"] = job.index
+    cached.provenance["resumed"] = True
+    return cached
 
 
 # --------------------------------------------------------------------------- #
@@ -343,27 +436,37 @@ def run_job(
     """Build the job's instance, rehydrate its runners, dispatch the line-up.
 
     One :class:`SolveContext` is shared by all of the job's context-aware
-    runners; if ``artifact_store`` holds artifacts for the instance's
-    fingerprint the context is rehydrated from them (and the store is
-    refreshed with this job's artifacts afterwards).  Dispatch happens
-    through :func:`run_algorithms`, so each algorithm draws from its own
+    runners.  ``artifact_store`` may be either an in-memory mapping of
+    instance fingerprints to :class:`ContextArtifacts` — the context is
+    rehydrated from a matching entry and the store refreshed with this
+    job's artifacts afterwards — or a persistent keyed store (anything
+    exposing ``load_lp``/``save_lp``, i.e.
+    :class:`repro.store.ArtifactStore`), which is *attached* to the context
+    instead: LP solutions are then loaded lazily per parameter key and
+    written through as they are solved, and reuses count into the
+    ``lp_store_hits`` provenance counter.  Dispatch happens through
+    :func:`run_algorithms`, so each algorithm draws from its own
     ``derive_seed(rep_seed, name)`` generator and results do not depend on
     line-up order or scheduling.
     """
     started = time.perf_counter()
     instance = instance_factory(job.value, job.rep_seed)
     context = SolveContext(instance)
-    if artifact_store is not None:
+    keyed_store = artifact_store is not None and hasattr(artifact_store, "load_lp")
+    if keyed_store:
+        context.attach_store(artifact_store)
+    elif artifact_store is not None:
         artifacts = artifact_store.get(context.fingerprint)
         if artifacts is not None:
             context.adopt_artifacts(artifacts)
 
     runners = {
-        payload.display_name: payload.rehydrate() for payload in job.algorithms
+        payload.display_name: payload.rehydrate(columns=job.columns)
+        for payload in job.algorithms
     }
     reports = run_algorithms(instance, runners, seed=job.rep_seed, context=context)
 
-    if artifact_store is not None and (
+    if artifact_store is not None and not keyed_store and (
         context.lp_solves > 0 or context.fingerprint not in artifact_store
     ):
         # Write back only when this job computed something new — pure-hit
@@ -419,36 +522,122 @@ def _run_job_group(
     return results, fresh
 
 
+def _run_job_group_store(
+    instance_factory: InstanceFactory,
+    jobs: Tuple[SweepJob, ...],
+    store: Any,
+    signature: str,
+    resume: bool,
+) -> Tuple[List[JobResult], int]:
+    """Worker entry point when a persistent store backs the run.
+
+    Each finished job is checkpointed *by the worker, immediately* — the
+    store's WAL-mode SQLite index tolerates concurrent writers — so a sweep
+    killed mid-chunk still keeps every job that completed.  Jobs another
+    process checkpointed in the meantime are skipped (``resume``); returns
+    the chunk's results plus how many of them were resumed.
+    """
+    results: List[JobResult] = []
+    resumed = 0
+    for job in jobs:
+        key = job_checkpoint_key(job)
+        if resume:
+            cached = store.load_job(signature, key)
+            if cached is not None:
+                results.append(_as_resumed(cached, job))
+                resumed += 1
+                continue
+        result = run_job(instance_factory, job, store)
+        store.save_job(signature, key, result)
+        results.append(result)
+    return results, resumed
+
+
 # --------------------------------------------------------------------------- #
 # Executors
 # --------------------------------------------------------------------------- #
 @runtime_checkable
 class Executor(Protocol):
-    """Anything that can run a :class:`SweepPlan` and return its job results."""
+    """Anything that can run a :class:`SweepPlan` and return its job results.
+
+    ``iter_run`` is the streaming primitive — results arrive as jobs finish,
+    in completion order; ``run`` is its deterministic-reorder wrapper (job
+    index order, identical tables regardless of scheduling).
+    """
 
     def run(self, plan: SweepPlan) -> List[JobResult]:
+        ...
+
+    def iter_run(self, plan: SweepPlan) -> Iterator[JobResult]:
         ...
 
 
 class SerialExecutor:
     """Run every job in plan order, in-process — the default executor.
 
-    Behaviour matches the historical ``sweep()`` loop; the only addition is
-    the artifact store, which lets repetitions that rebuild an identical
-    instance reuse its LP solutions (a pure cache: the LP solver is
-    deterministic, so results are unchanged).
+    Behaviour matches the historical ``sweep()`` loop plus two optional
+    reuse layers:
+
+    * ``artifact_store`` — an in-memory fingerprint →
+      :class:`~repro.core.pipeline.ContextArtifacts` mapping letting
+      repetitions that rebuild an identical instance reuse its LP solutions
+      within this process (a pure cache: the LP solver is deterministic, so
+      results are unchanged).
+    * ``store`` — a persistent :class:`repro.store.ArtifactStore`.  LP
+      solutions are then loaded/written through disk (reuse survives
+      invocations; ``lp_store_hits`` in the job provenance counts it), and
+      every finished job is checkpointed under the plan's
+      :func:`plan_signature` as soon as it completes, so an interrupted run
+      resumes from its checkpoints.  ``resume=False`` re-executes jobs even
+      when a checkpoint exists (still refreshing the checkpoints and still
+      reusing stored LP solutions) — useful for measuring warm-store solve
+      counts.
+
+    ``jobs_resumed`` / ``jobs_executed`` report, after each run, how many
+    results came from checkpoints versus fresh execution.
     """
 
-    def __init__(self, artifact_store: Optional[ArtifactStore] = None) -> None:
+    def __init__(
+        self,
+        artifact_store: Optional[ArtifactStore] = None,
+        *,
+        store: Optional[Any] = None,
+        resume: bool = True,
+    ) -> None:
+        if store is not None and artifact_store is not None:
+            raise ValueError(
+                "pass either an in-memory artifact_store or a persistent "
+                "store, not both — the persistent store already covers LP reuse"
+            )
         self.artifact_store: ArtifactStore = (
             artifact_store if artifact_store is not None else {}
         )
+        self.store = store
+        self.resume = resume
+        self.jobs_resumed = 0
+        self.jobs_executed = 0
+
+    def iter_run(self, plan: SweepPlan) -> Iterator[JobResult]:
+        """Yield each job's result as it finishes, checkpointing along the way."""
+        self.jobs_resumed = 0
+        self.jobs_executed = 0
+        signature = plan_signature(plan) if self.store is not None else None
+        backing = self.store if self.store is not None else self.artifact_store
+        for job in plan.jobs:
+            if signature is not None and self.resume:
+                cached = self.store.load_job(signature, job_checkpoint_key(job))
+                if cached is not None:
+                    self.jobs_resumed += 1
+                    yield _as_resumed(cached, job)
+                    continue
+            result = run_job(plan.instance_factory, job, backing)
+            self.jobs_executed += 1
+            if signature is not None:
+                self.store.save_job(signature, job_checkpoint_key(job), result)
+            yield result
 
     def run(self, plan: SweepPlan) -> List[JobResult]:
-        return [
-            run_job(plan.instance_factory, job, self.artifact_store)
-            for job in plan.jobs
-        ]
+        return sorted(self.iter_run(plan), key=lambda result: result.job_index)
 
 
 class ParallelExecutor:
@@ -478,6 +667,21 @@ class ParallelExecutor:
     mp_context:
         Optional :mod:`multiprocessing` start method (``"fork"``,
         ``"spawn"``, ...); ``None`` uses the platform default.
+    store:
+        Optional persistent :class:`repro.store.ArtifactStore`.  The store
+        object itself is shipped to the workers (it pickles by path and
+        reconnects; WAL-mode SQLite tolerates the concurrent writers): each
+        worker loads LP solutions from disk before solving and checkpoints
+        every finished job immediately, so killing the sweep mid-flight
+        loses at most the jobs still in progress — a re-run with the same
+        store yields the checkpointed results and completes only the
+        unfinished jobs.  ``resume=False`` re-executes everything while
+        still reusing stored LP solutions.  Workers that cold-start
+        *concurrently* on one instance may each solve its LP once before
+        either has written it — a benign race (the solver is deterministic
+        and blobs are content-addressed, so the writes collide on identical
+        content): a cold parallel run performs at most ``workers`` solves
+        per instance instead of one, and every later job reads from disk.
     """
 
     def __init__(
@@ -487,40 +691,110 @@ class ParallelExecutor:
         collect_artifacts: bool = False,
         artifact_store: Optional[ArtifactStore] = None,
         mp_context: Optional[str] = None,
+        store: Optional[Any] = None,
+        resume: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if store is not None and (collect_artifacts or artifact_store is not None):
+            raise ValueError(
+                "a persistent store supersedes the in-memory artifact options; "
+                "pass either store= or artifact_store=/collect_artifacts=, not both"
+            )
         self.workers = workers
         self.collect_artifacts = collect_artifacts
         self.artifact_store: ArtifactStore = (
             artifact_store if artifact_store is not None else {}
         )
         self.mp_context = mp_context
+        self.store = store
+        self.resume = resume
+        self.jobs_resumed = 0
+        self.jobs_executed = 0
 
-    def _chunks(self, plan: SweepPlan) -> List[Tuple[SweepJob, ...]]:
+    @staticmethod
+    def _chunks(jobs: Iterable[SweepJob]) -> List[Tuple[SweepJob, ...]]:
         grouped: Dict[int, List[SweepJob]] = {}
-        for job in plan.jobs:
+        for job in jobs:
             grouped.setdefault(job.value_index, []).append(job)
         return [tuple(grouped[key]) for key in sorted(grouped)]
 
-    def run(self, plan: SweepPlan) -> List[JobResult]:
-        chunks = self._chunks(plan)
-        if not chunks:
-            return []
-        seed_artifacts = dict(self.artifact_store) if self.artifact_store else None
-        mp_ctx = None
-        if self.mp_context is not None:
-            import multiprocessing
+    def _mp_ctx(self):
+        if self.mp_context is None:
+            return None
+        import multiprocessing
 
-            mp_ctx = multiprocessing.get_context(self.mp_context)
-        results: List[JobResult] = []
-        with ProcessPoolExecutor(
+        return multiprocessing.get_context(self.mp_context)
+
+    def iter_run(self, plan: SweepPlan) -> Iterator[JobResult]:
+        """Yield job results in completion order (chunk by chunk).
+
+        Closing the iterator early cancels chunks that have not started;
+        chunks already running finish (and, with a persistent store,
+        checkpoint their jobs) before the pool shuts down.
+        """
+        self.jobs_resumed = 0
+        self.jobs_executed = 0
+        if self.store is not None:
+            yield from self._iter_run_store(plan)
+        else:
+            yield from self._iter_run_seeded(plan)
+
+    def _iter_run_store(self, plan: SweepPlan) -> Iterator[JobResult]:
+        signature = plan_signature(plan)
+        remaining: List[SweepJob] = []
+        for job in plan.jobs:
+            cached = (
+                self.store.load_job(signature, job_checkpoint_key(job))
+                if self.resume
+                else None
+            )
+            if cached is not None:
+                self.jobs_resumed += 1
+                yield _as_resumed(cached, job)
+            else:
+                remaining.append(job)
+        chunks = self._chunks(remaining)
+        if not chunks:
+            return
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)), mp_context=self._mp_ctx()
+        )
+        try:
+            pending = {
+                pool.submit(
+                    _run_job_group_store,
+                    plan.instance_factory,
+                    chunk,
+                    self.store,
+                    signature,
+                    self.resume,
+                )
+                for chunk in chunks
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    chunk_results, resumed = future.result()
+                    self.jobs_resumed += resumed
+                    self.jobs_executed += len(chunk_results) - resumed
+                    yield from chunk_results
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _iter_run_seeded(self, plan: SweepPlan) -> Iterator[JobResult]:
+        chunks = self._chunks(plan.jobs)
+        if not chunks:
+            return
+        seed_artifacts = dict(self.artifact_store) if self.artifact_store else None
+        pool = ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)),
-            mp_context=mp_ctx,
+            mp_context=self._mp_ctx(),
             initializer=_seed_worker_artifacts,
             initargs=(seed_artifacts,),
-        ) as pool:
-            futures = [
+        )
+        try:
+            pending = {
                 pool.submit(
                     _run_job_group,
                     plan.instance_factory,
@@ -528,17 +802,20 @@ class ParallelExecutor:
                     self.collect_artifacts,
                 )
                 for chunk in chunks
-            ]
-            pending = set(futures)
+            }
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     chunk_results, artifacts = future.result()
-                    results.extend(chunk_results)
+                    self.jobs_executed += len(chunk_results)
                     if self.collect_artifacts:
                         self.artifact_store.update(artifacts)
-        results.sort(key=lambda result: result.job_index)
-        return results
+                    yield from chunk_results
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def run(self, plan: SweepPlan) -> List[JobResult]:
+        return sorted(self.iter_run(plan), key=lambda result: result.job_index)
 
 
 __all__ = [
@@ -549,6 +826,8 @@ __all__ = [
     "ArtifactStore",
     "compile_sweep",
     "compile_grid",
+    "plan_signature",
+    "job_checkpoint_key",
     "run_algorithms",
     "run_job",
     "Executor",

@@ -9,9 +9,14 @@ shared :class:`~repro.core.pipeline.SolveContext`, so e.g. the full
 ``figure3_small_datasets`` line-up performs a single simplified-LP
 relaxation solve per instance.  The sweep-based figures (3, 5-8) compile to
 :class:`~repro.experiments.executor.SweepPlan` jobs over the picklable
-:class:`InstanceSweepFactory` and accept an ``executor=`` argument — pass a
+:class:`InstanceSweepFactory` and accept ``executor=`` and ``store=``
+arguments — pass a
 :class:`~repro.experiments.executor.ParallelExecutor` to fan the sweep out
-over a process pool (the table is identical).  Default parameters are
+over a process pool (the table is identical), and a
+:class:`repro.store.ArtifactStore` to persist LP solves and finished jobs
+across invocations (a warm store repeats a figure without a single LP
+solve; an interrupted sweep resumes from its checkpoints).  Default
+parameters are
 laptop-scale (the paper used m = 10,000 items and a 1 TB server); pass
 larger values to approach the original scale.  The benchmark modules under
 ``benchmarks/`` call these functions and print the resulting tables.
@@ -50,10 +55,10 @@ from repro.experiments.executor import Executor
 from repro.experiments.harness import (
     ExperimentResult,
     default_algorithms,
+    grid,
     run_algorithms,
     sweep,
 )
-from repro.metrics.evaluation import evaluate_result
 from repro.metrics.regret import regret_cdf, regret_ratios
 from repro.metrics.subgroups import subgroup_metrics
 from repro.utils.rng import SeedLike, derive_seed, ensure_rng
@@ -110,6 +115,33 @@ class InstanceSweepFactory:
         )
 
 
+@dataclass(frozen=True)
+class FixedInstanceFactory:
+    """Picklable factory returning one fixed, seeded instance for every job.
+
+    Sweeps that scan an *algorithm* parameter (figure 12's balancing ratio)
+    hold the instance constant: every job then shares one instance
+    fingerprint, so an executor-level artifact store — in-memory or the
+    persistent :class:`repro.store.ArtifactStore` — pays the LP relaxation
+    solve exactly once for the whole scan.
+    """
+
+    dataset: str = "timik"
+    num_users: int = 12
+    num_items: int = 30
+    num_slots: int = 3
+    seed: int = 0
+
+    def __call__(self, value, rep_seed: int) -> SVGICInstance:
+        return datasets.make_instance(
+            self.dataset,
+            num_users=self.num_users,
+            num_items=self.num_items,
+            num_slots=self.num_slots,
+            seed=self.seed,
+        )
+
+
 # --------------------------------------------------------------------------- #
 # Figure 3 — comparisons on small datasets (utility and time vs n, m, k)
 # --------------------------------------------------------------------------- #
@@ -125,6 +157,7 @@ def figure3_small_datasets(
     include_ip: bool = True,
     ip_time_limit: float = 20.0,
     executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
     """Figure 3(a-f): total utility and execution time on small sampled instances.
 
@@ -154,6 +187,7 @@ def figure3_small_datasets(
         repetitions=repetitions,
         x_label=vary,
         executor=executor,
+        store=store,
     )
 
 
@@ -207,6 +241,7 @@ def figure5_large_users(
     seed: SeedLike = 2,
     repetitions: int = 1,
     executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
     """Figure 5: total SAVG utility vs the size of the user set on Timik-like data."""
     factory = InstanceSweepFactory(
@@ -215,7 +250,7 @@ def figure5_large_users(
     return sweep(
         "figure5", "total SAVG utility vs n (Timik-like)", values, factory,
         default_algorithms(), seed=seed, repetitions=repetitions, x_label="n",
-        executor=executor,
+        executor=executor, store=store,
     )
 
 
@@ -227,6 +262,7 @@ def figure6_datasets(
     num_slots: int = 5,
     seed: SeedLike = 3,
     executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
     """Figure 6: total SAVG utility on the three dataset styles."""
     factory = InstanceSweepFactory(
@@ -235,6 +271,7 @@ def figure6_datasets(
     return sweep(
         "figure6", "total SAVG utility per dataset", dataset_names, factory,
         default_algorithms(), seed=seed, x_label="dataset", executor=executor,
+        store=store,
     )
 
 
@@ -246,6 +283,7 @@ def figure7_input_models(
     num_slots: int = 5,
     seed: SeedLike = 4,
     executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
     """Figure 7: total SAVG utility for inputs generated by different learning models."""
     factory = InstanceSweepFactory(
@@ -255,6 +293,7 @@ def figure7_input_models(
     return sweep(
         "figure7", "total SAVG utility per utility learning model", models, factory,
         default_algorithms(), seed=seed, x_label="model", executor=executor,
+        store=store,
     )
 
 
@@ -270,6 +309,7 @@ def figure8_scalability(
     num_slots: int = 4,
     seed: SeedLike = 5,
     executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
     """Figure 8(a)(b): execution time vs n / m on Yelp-like data (no IP — it times out)."""
     if vary not in {"n", "m"}:
@@ -284,6 +324,7 @@ def figure8_scalability(
     return sweep(
         f"figure8-{vary}", f"execution time vs {vary} (Yelp-like)", values, factory,
         default_algorithms(), seed=seed, x_label=vary, executor=executor,
+        store=store,
     )
 
 
@@ -474,36 +515,49 @@ def figure12_r_sensitivity(
     seed: SeedLike = 10,
     include_ip: bool = True,
     ip_time_limit: float = 30.0,
+    executor: Optional[Executor] = None,
+    store: Optional[object] = None,
 ) -> ExperimentResult:
-    """Figure 12(a-d): AVG-D utility / time / subgroup structure as a function of r."""
-    instance = datasets.make_instance(
-        "timik", num_users=num_users, num_items=num_items, num_slots=num_slots,
+    """Figure 12(a-d): AVG-D utility / time / subgroup structure as a function of r.
+
+    Compiled onto the :func:`~repro.experiments.harness.grid` plan/executor
+    path (the last sweep-based figure that still ran closures inline): the
+    x-axis is the balancing ratio, bound to AVG-D's ``balancing_ratio``
+    kwarg through a payload column binding, while a
+    :class:`FixedInstanceFactory` holds the instance constant — so the
+    whole scan shares one instance fingerprint and the executor's artifact
+    store pays a single LP relaxation solve for all ratios (persisted
+    across invocations when a ``store=`` is passed).  The IP optimum used
+    for the optimality series is solved once, outside the plan.
+    """
+    factory = FixedInstanceFactory(
+        dataset="timik",
+        num_users=num_users,
+        num_items=num_items,
+        num_slots=num_slots,
         seed=derive_seed(seed, "fig12"),
     )
-    result = ExperimentResult(
-        "figure12", "AVG-D sensitivity to the balancing ratio r",
-        parameters={"ratios": list(ratios)},
+    result = grid(
+        "figure12",
+        "AVG-D sensitivity to the balancing ratio r",
+        list(ratios),
+        [factory.dataset],
+        factory,
+        registry.build_runners(["AVG-D"]),
+        seed=seed,
+        x_label="balancing_ratio",
+        y_label="dataset",
+        bindings={"AVG-D": {"balancing_ratio": "balancing_ratio"}},
+        executor=executor,
+        store=store,
     )
+    result.parameters["ratios"] = list(ratios)
     optimum = None
     if include_ip:
-        optimum = solve_exact(instance, time_limit=ip_time_limit).objective
-    for ratio in ratios:
-        run = run_avg_d(instance, balancing_ratio=ratio)
-        metrics = subgroup_metrics(instance, run.configuration)
-        result.add_row(
-            algorithm="AVG-D",
-            x=ratio,
-            balancing_ratio=ratio,
-            total_utility=run.objective,
-            optimal_utility=optimum,
-            optimality=(run.objective / optimum) if optimum else None,
-            seconds=run.seconds,
-            normalized_density=metrics.normalized_density,
-            intra_pct=100.0 * metrics.intra_edge_ratio,
-            inter_pct=100.0 * metrics.inter_edge_ratio,
-            mean_subgroup_size=metrics.mean_subgroup_size,
-            social_utility=evaluate_result(instance, run).social_utility,
-        )
+        optimum = solve_exact(factory(None, 0), time_limit=ip_time_limit).objective
+    for row in result.rows:
+        row["optimal_utility"] = optimum
+        row["optimality"] = (row["total_utility"] / optimum) if optimum else None
     return result
 
 
@@ -771,6 +825,7 @@ def lemma3_independent_rounding(
 
 __all__ = [
     "InstanceSweepFactory",
+    "FixedInstanceFactory",
     "figure3_small_datasets",
     "figure4_lambda",
     "figure5_large_users",

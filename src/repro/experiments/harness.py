@@ -260,7 +260,12 @@ def _jsonify(value: Any) -> Any:
     return value
 
 
-def run_plan(plan: SweepPlan, executor: Optional[Executor] = None) -> ExperimentResult:
+def run_plan(
+    plan: SweepPlan,
+    executor: Optional[Executor] = None,
+    *,
+    store: Optional[Any] = None,
+) -> ExperimentResult:
     """Execute a compiled :class:`SweepPlan` and aggregate rows per sweep point.
 
     The executor (default: a fresh :class:`SerialExecutor`) returns one
@@ -269,10 +274,38 @@ def run_plan(plan: SweepPlan, executor: Optional[Executor] = None) -> Experiment
     how the executor scheduled the jobs.  Per-job execution provenance (LP
     solve/hit counters, worker PID, wall time) is kept under
     ``parameters["job_provenance"]``.
+
+    ``store`` optionally names a persistent
+    :class:`repro.store.ArtifactStore`: LP relaxation solves are reused
+    across invocations and finished jobs are checkpointed for resume (see
+    the executor docs).  It is bound to the default executor, or — for this
+    run only — to a passed executor that does not already carry one (an
+    executor's own store always wins; executors without store support
+    raise rather than silently ignoring the argument).
     """
     if executor is None:
-        executor = SerialExecutor()
-    job_results = executor.run(plan)
+        executor = SerialExecutor(store=store)
+        job_results = executor.run(plan)
+    elif store is not None and getattr(executor, "store", None) is None:
+        if not hasattr(executor, "store"):
+            raise TypeError(
+                f"executor {type(executor).__name__} does not support store=; "
+                "construct it with the store or omit the argument"
+            )
+        if getattr(executor, "artifact_store", None) or getattr(
+            executor, "collect_artifacts", False
+        ):
+            raise ValueError(
+                "executor already carries in-memory artifact options; "
+                "construct it with store= instead of binding one here"
+            )
+        executor.store = store
+        try:
+            job_results = executor.run(plan)
+        finally:
+            executor.store = None
+    else:
+        job_results = executor.run(plan)
     by_index: Dict[int, JobResult] = {jr.job_index: jr for jr in job_results}
     missing = [job.index for job in plan.jobs if job.index not in by_index]
     if missing:
@@ -319,6 +352,8 @@ def sweep(
     repetitions: int = 1,
     x_label: str = "x",
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> ExperimentResult:
     """Run every algorithm over a one-dimensional parameter sweep.
 
@@ -327,7 +362,11 @@ def sweep(
     The sweep is first compiled into a :class:`SweepPlan` of picklable jobs
     and then handed to ``executor`` (default: serial; pass a
     :class:`~repro.experiments.executor.ParallelExecutor` to fan out over a
-    process pool — the table is identical either way).
+    process pool — the table is identical either way).  ``store`` threads a
+    persistent artifact store through the run (LP reuse across invocations
+    plus job checkpoints; see :func:`run_plan`); ``bindings`` maps algorithm
+    names to ``{kwarg: column label}`` records so the sweep coordinate can
+    drive an algorithm parameter.
     """
     plan = compile_sweep(
         name,
@@ -338,8 +377,9 @@ def sweep(
         seed=seed,
         repetitions=repetitions,
         x_label=x_label,
+        bindings=bindings,
     )
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, store=store)
 
 
 def grid(
@@ -355,6 +395,8 @@ def grid(
     x_label: str = "x",
     y_label: str = "y",
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> ExperimentResult:
     """Run every algorithm over a two-dimensional parameter grid.
 
@@ -362,6 +404,7 @@ def grid(
     ``instance_factory((x, y), rep_seed)``.  Rows carry both coordinates
     (``x_label``/``y_label`` plus the generic ``x``/``y``), so
     :meth:`ExperimentResult.pivot` can build heat-map style tables.
+    ``store`` and ``bindings`` behave exactly as in :func:`sweep`.
     """
     plan = compile_grid(
         name,
@@ -374,8 +417,9 @@ def grid(
         repetitions=repetitions,
         x_label=x_label,
         y_label=y_label,
+        bindings=bindings,
     )
-    return run_plan(plan, executor)
+    return run_plan(plan, executor, store=store)
 
 
 def _average_reports(reports: Sequence[EvaluationReport]) -> Dict[str, Any]:

@@ -1,0 +1,58 @@
+"""Persistent, content-addressed artifact/result store for solve state.
+
+The store is the disk-backed sibling of the in-memory artifact maps used by
+the experiment executors: a SQLite index (WAL journal, busy-timeout) over
+content-addressed ``.npz`` blob payloads.  Three kinds of entries share the
+same index/blob substrate:
+
+* **LP relaxation solutions**, keyed by
+  :func:`repro.core.pipeline.instance_fingerprint` plus the *full* LP
+  parameter tuple — attached to a
+  :class:`~repro.core.pipeline.SolveContext`, the store turns every LP
+  relaxation into a once-per-machine cost (the context's ``lp_store_hits``
+  counter makes the reuse assertable across process *and invocation*
+  boundaries).
+* **Context tensors** (the weighted preference/pair tensors and candidate
+  item sets of a :class:`~repro.core.pipeline.ContextArtifacts` snapshot),
+  keyed by instance fingerprint.
+* **Job results** — finished :class:`~repro.experiments.executor.JobResult`
+  records keyed by the plan's scope signature
+  (:func:`~repro.experiments.executor.plan_signature`) and a per-job content
+  key (:func:`~repro.experiments.executor.job_checkpoint_key`), written
+  incrementally by the streaming executors so an interrupted sweep resumes
+  from its checkpoints instead of restarting.
+
+Robustness is eviction-based: a stale schema version, a missing blob, a
+truncated or corrupted payload — every failure mode deletes the offending
+index entry (and blob, best effort) and reports a miss, so consumers simply
+re-solve.  The store never raises on bad persisted state.
+"""
+
+from repro.store.blobs import BlobCorruptionError, BlobStore
+from repro.store.codecs import (
+    SCHEMA_VERSION,
+    decode_fractional,
+    decode_job_result,
+    encode_fractional,
+    encode_job_result,
+    lp_param_key,
+    pack_payload,
+    unpack_payload,
+)
+from repro.store.index import SQLiteIndex
+from repro.store.store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "BlobStore",
+    "BlobCorruptionError",
+    "SQLiteIndex",
+    "SCHEMA_VERSION",
+    "pack_payload",
+    "unpack_payload",
+    "lp_param_key",
+    "encode_fractional",
+    "decode_fractional",
+    "encode_job_result",
+    "decode_job_result",
+]

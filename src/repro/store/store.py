@@ -1,0 +1,252 @@
+"""The :class:`ArtifactStore`: one disk directory holding solves and results.
+
+Layout under ``root``::
+
+    root/
+      index.sqlite        # SQLite index (WAL), see repro.store.index
+      blobs/ab/<sha>.npz  # content-addressed payloads, see repro.store.blobs
+
+The store exposes three keyed surfaces over that substrate:
+
+* ``load_lp`` / ``save_lp`` — LP relaxation solutions keyed by instance
+  fingerprint **plus the full LP parameter tuple**.  This is the surface a
+  :class:`~repro.core.pipeline.SolveContext` consults when a store is
+  attached: a cache miss falls through to disk before it falls through to
+  the solver, and fresh solves are written through immediately.
+* ``load_job`` / ``save_job`` — executor checkpoints keyed by plan signature
+  and job index; the streaming executors write one entry per finished job so
+  interrupted sweeps resume instead of restarting.
+* a mapping-style facade (``get`` / ``__setitem__`` / ``__contains__``) over
+  whole :class:`~repro.core.pipeline.ContextArtifacts` snapshots, so the
+  store can stand in wherever the executors accept an in-memory
+  ``fingerprint -> artifacts`` dict.
+
+Every load verifies schema version and blob integrity; anything stale,
+missing, truncated or corrupted is evicted and reported as a miss — callers
+re-solve, they never crash.  Instances are picklable (the SQLite connection
+is dropped and lazily reopened), so one store object can be shipped to
+:class:`~repro.experiments.executor.ParallelExecutor` workers, which then
+share the directory through WAL-mode SQLite.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.lp import FractionalSolution
+from repro.core.pipeline import ContextArtifacts
+from repro.experiments.executor import JobResult
+from repro.store.blobs import BlobStore
+from repro.store.codecs import (
+    SCHEMA_VERSION,
+    decode_fractional,
+    decode_job_result,
+    decode_tensors,
+    encode_fractional,
+    encode_job_result,
+    encode_tensors,
+    lp_param_key,
+    pack_payload,
+    parse_lp_param_key,
+    unpack_payload,
+)
+from repro.store.index import SQLiteIndex
+
+#: Index namespaces (see repro.store.index for the key layout per namespace).
+NS_LP = "lp"
+NS_TENSORS = "tensors"
+NS_JOB = "job"
+
+
+class ArtifactStore:
+    """Disk-backed, content-addressed store for LP solves and job results.
+
+    Attributes
+    ----------
+    hits / misses / evictions / writes:
+        Per-instance counters (this process only — not persisted).  A miss
+        caused by a stale or corrupted entry also counts one eviction.
+    """
+
+    def __init__(self, root: os.PathLike, *, busy_timeout_ms: int = 30_000) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._index = SQLiteIndex(self.root / "index.sqlite", busy_timeout_ms=busy_timeout_ms)
+        self._blobs = BlobStore(self.root / "blobs")
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writes = 0
+
+    # -- plumbing -------------------------------------------------------- #
+    @property
+    def index(self) -> SQLiteIndex:
+        return self._index
+
+    def close(self) -> None:
+        self._index.close()
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"root": self.root, "_index": self._index, "_blobs": self._blobs}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.root = state["root"]
+        self._index = state["_index"]
+        self._blobs = state["_blobs"]
+        self.hits = self.misses = self.evictions = self.writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r})"
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "writes": self.writes,
+        }
+
+    def _evict(self, namespace: str, fingerprint: str, param_key: str, blob_sha: str) -> None:
+        # Blobs are content-addressed and may be shared by several entries;
+        # deleting a shared blob merely turns the other entries into misses
+        # on their next read (they evict themselves and re-solve).
+        self._index.delete(namespace, fingerprint, param_key)
+        self._blobs.delete(blob_sha)
+        self.evictions += 1
+
+    def _load(self, namespace: str, fingerprint: str, param_key: str = "") -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """Verified ``(meta, arrays)`` of one entry, or None (evicting bad state)."""
+        row = self._index.get(namespace, fingerprint, param_key)
+        if row is None:
+            self.misses += 1
+            return None
+        blob_sha, schema_version = row
+        if schema_version != SCHEMA_VERSION:
+            self._evict(namespace, fingerprint, param_key, blob_sha)
+            self.misses += 1
+            return None
+        try:
+            payload = self._blobs.get(blob_sha)
+            meta, arrays = unpack_payload(payload)
+        except Exception:
+            # Missing, truncated, corrupted or undecodable blob: never crash —
+            # drop the entry and let the caller re-solve.
+            self._evict(namespace, fingerprint, param_key, blob_sha)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return meta, arrays
+
+    def _save(self, namespace: str, fingerprint: str, param_key: str, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> None:
+        blob_sha = self._blobs.put(pack_payload(meta, arrays))
+        self._index.put(namespace, fingerprint, param_key, blob_sha, SCHEMA_VERSION)
+        self.writes += 1
+
+    # -- LP relaxation solutions ----------------------------------------- #
+    def load_lp(self, fingerprint: str, key: Tuple[Any, ...]) -> Optional[FractionalSolution]:
+        """The stored LP solution for ``(fingerprint, full parameter key)``, or None."""
+        loaded = self._load(NS_LP, fingerprint, lp_param_key(key))
+        if loaded is None:
+            return None
+        return decode_fractional(*loaded)
+
+    def save_lp(self, fingerprint: str, key: Tuple[Any, ...], solution: FractionalSolution) -> None:
+        self._save(NS_LP, fingerprint, lp_param_key(key), *encode_fractional(solution))
+
+    # -- executor job checkpoints ----------------------------------------- #
+    def load_job(self, signature: str, job_key: str) -> Optional[JobResult]:
+        """The checkpointed result under plan scope ``signature`` and job key.
+
+        ``job_key`` is the per-job content key produced by
+        :func:`repro.experiments.executor.job_checkpoint_key` (the store
+        treats it as opaque).
+        """
+        loaded = self._load(NS_JOB, signature, job_key)
+        if loaded is None:
+            return None
+        return decode_job_result(*loaded)
+
+    def save_job(self, signature: str, job_key: str, result: JobResult) -> None:
+        self._save(NS_JOB, signature, job_key, *encode_job_result(result))
+
+    def job_indices(self, signature: str) -> List[int]:
+        """Indices of every readable checkpoint under plan scope ``signature``.
+
+        Job keys are content hashes (position-independent), so the index is
+        read from each checkpoint's metadata — the index recorded by the
+        plan that *wrote* it.  A maintenance helper: unreadable or stale
+        entries are skipped (not evicted) and counters are left untouched.
+        """
+        indices: List[int] = []
+        for _, blob_sha, schema_version in self._index.params(NS_JOB, signature):
+            if schema_version != SCHEMA_VERSION:
+                continue
+            try:
+                meta, _ = unpack_payload(self._blobs.get(blob_sha))
+                indices.append(int(meta["job_index"]))
+            except Exception:
+                continue
+        return sorted(indices)
+
+    # -- mapping facade over whole ContextArtifacts ----------------------- #
+    def get(self, fingerprint: str, default: Any = None) -> Optional[ContextArtifacts]:
+        """Assemble a :class:`ContextArtifacts` from every entry of ``fingerprint``.
+
+        Combines the tensors payload (if any) with all LP solutions stored
+        for the fingerprint; returns ``default`` when nothing is stored.
+        """
+        tensors = self._load(NS_TENSORS, fingerprint)
+        lp_solutions: Dict[Tuple[Any, ...], FractionalSolution] = {}
+        for param_key, _, _ in self._index.params(NS_LP, fingerprint):
+            loaded = self._load(NS_LP, fingerprint, param_key)
+            if loaded is not None:
+                lp_solutions[parse_lp_param_key(param_key)] = decode_fractional(*loaded)
+        if tensors is None and not lp_solutions:
+            return default
+        if tensors is not None:
+            kwargs = decode_tensors(*tensors)
+        else:
+            kwargs = {"fingerprint": fingerprint}
+        return ContextArtifacts(lp_solutions=lp_solutions, **kwargs)
+
+    def __setitem__(self, fingerprint: str, artifacts: ContextArtifacts) -> None:
+        self._save(NS_TENSORS, fingerprint, "", *encode_tensors(artifacts))
+        for key, solution in artifacts.lp_solutions.items():
+            self.save_lp(fingerprint, key, solution)
+
+    def __getitem__(self, fingerprint: str) -> ContextArtifacts:
+        artifacts = self.get(fingerprint)
+        if artifacts is None:
+            raise KeyError(fingerprint)
+        return artifacts
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return (
+            self._index.get(NS_TENSORS, fingerprint, "") is not None
+            or bool(self._index.params(NS_LP, fingerprint))
+        )
+
+    def __len__(self) -> int:
+        return len(self._index.fingerprints(NS_TENSORS, NS_LP))
+
+    def keys(self) -> List[str]:
+        return self._index.fingerprints(NS_TENSORS, NS_LP)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def update(self, mapping: Mapping[str, ContextArtifacts]) -> None:
+        for fingerprint, artifacts in mapping.items():
+            self[fingerprint] = artifacts
+
+    # -- maintenance ------------------------------------------------------ #
+    def clear(self) -> None:
+        """Drop every index entry (blobs are left for the filesystem to reclaim)."""
+        self._index.clear()
+
+
+__all__ = ["ArtifactStore", "NS_LP", "NS_TENSORS", "NS_JOB"]

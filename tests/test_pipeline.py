@@ -274,6 +274,69 @@ class TestProbeMany:
         evaluator = DeltaEvaluator(tiny_instance)
         assert evaluator.probe_many((0, 0), np.array([], dtype=np.int64)).size == 0
 
+    @pytest.mark.parametrize("teleport_discount", [0.0, 0.3, 0.9])
+    def test_st_vectorized_path_matches_scalar_probe(self, teleport_discount):
+        """Satellite pin: the vectorized SVGIC-ST path equals probe/revert pairs."""
+        from repro.core.objective import DeltaEvaluator
+
+        instance = datasets.make_st_instance(
+            "timik", num_users=10, num_items=24, num_slots=3,
+            max_subgroup_size=3, teleport_discount=teleport_discount, seed=29,
+        )
+        rng = np.random.default_rng(5)
+        config = _random_valid_configuration(instance, rng)
+        evaluator = DeltaEvaluator(instance, config)
+        candidates = np.arange(instance.num_items, dtype=np.int64)
+        for user in range(instance.num_users):
+            for slot in range(instance.num_slots):
+                batched = evaluator.probe_many((user, slot), candidates)
+                scalar = self._scalar_probes(evaluator, user, slot, candidates)
+                np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_st_probe_on_partial_configuration(self, small_st_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        config = SAVGConfiguration.for_instance(small_st_instance)
+        config.assignment[0, 0] = 2  # one assigned unit, the rest empty
+        config.assignment[1, 1] = 2  # a friend may share the item indirectly
+        evaluator = DeltaEvaluator(small_st_instance, config)
+        candidates = np.arange(small_st_instance.num_items, dtype=np.int64)
+        for user in range(3):
+            for slot in range(small_st_instance.num_slots):
+                batched = evaluator.probe_many((user, slot), candidates)
+                scalar = self._scalar_probes(evaluator, user, slot, candidates)
+                np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_st_probe_tolerates_duplicate_rows(self, small_st_instance):
+        """Intermediate local-search states may duplicate an item within a row."""
+        from repro.core.objective import DeltaEvaluator
+
+        rng = np.random.default_rng(11)
+        config = _random_valid_configuration(small_st_instance, rng)
+        evaluator = DeltaEvaluator(small_st_instance, config)
+        # Force duplicates: user 0 shows item of slot 1 at slot 0 as well.
+        evaluator.set_cell(0, 0, int(evaluator.assignment[0, 1]))
+        candidates = np.arange(small_st_instance.num_items, dtype=np.int64)
+        for user in (0, 1):
+            for slot in range(small_st_instance.num_slots):
+                batched = evaluator.probe_many((user, slot), candidates)
+                scalar = self._scalar_probes(evaluator, user, slot, candidates)
+                np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_st_probe_does_not_mutate_state(self, small_st_instance):
+        from repro.core.objective import DeltaEvaluator
+
+        rng = np.random.default_rng(7)
+        config = _random_valid_configuration(small_st_instance, rng)
+        evaluator = DeltaEvaluator(small_st_instance, config)
+        before_total = evaluator.total
+        before_assignment = evaluator.assignment.copy()
+        before_counts = evaluator._item_count.copy()
+        evaluator.probe_many((2, 1), np.arange(small_st_instance.num_items))
+        assert evaluator.total == before_total
+        np.testing.assert_array_equal(evaluator.assignment, before_assignment)
+        np.testing.assert_array_equal(evaluator._item_count, before_counts)
+
     def test_improver_batched_moves_match_scratch_evaluation(self, small_timik_instance):
         """End-to-end: the batched improver still only makes true improvements."""
         config = top_k_preference_configuration(small_timik_instance)
