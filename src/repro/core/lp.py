@@ -24,12 +24,12 @@ factor.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.problem import SVGICInstance, SVGICSTInstance
-from repro.solvers.linprog import LinearProgram, LPResult
+from repro.solvers.linprog import LinearProgram, LPResult, solve_block_diagonal
 
 
 @dataclass
@@ -152,22 +152,45 @@ def solve_lp_relaxation(
     if formulation not in {"simplified", "full"}:
         raise ValueError(f"unknown formulation {formulation!r}; use 'simplified' or 'full'")
 
-    if prune_items and instance.num_items > instance.num_slots:
-        items = candidate_items(instance, max_candidate_items)
-    else:
-        items = np.arange(instance.num_items, dtype=np.int64)
+    items = _candidate_selection(instance, prune_items, max_candidate_items)
 
     if formulation == "simplified":
         compact, objective, seconds = _solve_simplified(instance, items, enforce_size_constraint)
+        decoded = compact
+    else:
+        decoded, objective, seconds = _solve_full(instance, items, enforce_size_constraint)
+
+    return _package_solution(instance, items, formulation, decoded, objective, seconds)
+
+
+def _candidate_selection(
+    instance: SVGICInstance, prune_items: bool, max_candidate_items: Optional[int]
+) -> np.ndarray:
+    """The item ids carrying LP variables under the given pruning settings."""
+    if prune_items and instance.num_items > instance.num_slots:
+        return candidate_items(instance, max_candidate_items)
+    return np.arange(instance.num_items, dtype=np.int64)
+
+
+def _package_solution(
+    instance: SVGICInstance,
+    items: np.ndarray,
+    formulation: str,
+    decoded: np.ndarray,
+    objective: float,
+    seconds: float,
+) -> FractionalSolution:
+    """Wrap decoded factors (compact or per-slot) into a :class:`FractionalSolution`."""
+    if formulation == "simplified":
+        compact = decoded
         # Broadcast view (read-only): x*[u,c,s] = x̄[u,c] / k for every slot.
         slot = np.broadcast_to(
             (compact / instance.num_slots)[:, :, None],
             (instance.num_users, instance.num_items, instance.num_slots),
         )
     else:
-        slot, objective, seconds = _solve_full(instance, items, enforce_size_constraint)
+        slot = decoded
         compact = slot.sum(axis=2)
-
     return FractionalSolution(
         compact_factors=compact,
         slot_factors=slot,
@@ -176,6 +199,65 @@ def solve_lp_relaxation(
         formulation=formulation,
         candidate_item_ids=items,
     )
+
+
+def solve_lp_relaxations_stacked(
+    instances: Sequence[SVGICInstance],
+    *,
+    formulation: str = "simplified",
+    max_candidate_items: Optional[int] = None,
+    prune_items: bool = True,
+    enforce_size_constraint: bool = True,
+) -> List[FractionalSolution]:
+    """Solve the LP relaxations of several instances in **one** stacked solve.
+
+    Each instance's program is assembled exactly as :func:`solve_lp_relaxation`
+    would (per-instance candidate pruning included), the programs are stacked
+    block-diagonally (:func:`repro.solvers.linprog.solve_block_diagonal`) and
+    handed to HiGHS once, and the combined solution is split back per
+    instance.  The stacked program is separable, so every returned
+    :class:`FractionalSolution` is an optimal fractional solution of its own
+    instance — equivalent to an independent solve — while the solver is
+    invoked a single time; this is the micro-batching primitive of the
+    serving layer (:mod:`repro.serving`).  Instances may differ in size
+    (users, items, edges); they share the formulation and pruning settings.
+
+    ``lp_seconds`` on each solution is the amortized share of the one solve
+    (total wall-clock divided by the batch size).
+    """
+    if formulation not in {"simplified", "full"}:
+        raise ValueError(f"unknown formulation {formulation!r}; use 'simplified' or 'full'")
+    if not instances:
+        return []
+
+    item_sets = [
+        _candidate_selection(instance, prune_items, max_candidate_items)
+        for instance in instances
+    ]
+    if formulation == "simplified":
+        programs = [
+            _build_simplified(instance, items, enforce_size_constraint)
+            for instance, items in zip(instances, item_sets)
+        ]
+    else:
+        programs = [
+            _build_full(instance, items, enforce_size_constraint)
+            for instance, items in zip(instances, item_sets)
+        ]
+    results = solve_block_diagonal(programs)
+
+    solutions: List[FractionalSolution] = []
+    for instance, items, result in zip(instances, item_sets, results):
+        if formulation == "simplified":
+            decoded = _decode_simplified(instance, items, result.values)
+        else:
+            decoded = _decode_full(instance, items, result.values)
+        solutions.append(
+            _package_solution(
+                instance, items, formulation, decoded, result.objective, result.solve_seconds
+            )
+        )
+    return solutions
 
 
 # --------------------------------------------------------------------------- #
@@ -246,18 +328,26 @@ def _build_simplified(
     return lp
 
 
+def _decode_simplified(
+    instance: SVGICInstance, items: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``(n, m)`` compact factors from a simplified-formulation solution vector."""
+    n = instance.num_users
+    mc = items.shape[0]
+    compact = np.zeros((n, instance.num_items), dtype=float)
+    x_block = values[: n * mc].reshape(n, mc)
+    compact[:, items] = np.clip(x_block, 0.0, 1.0)
+    return compact
+
+
 def _solve_simplified(
     instance: SVGICInstance,
     items: np.ndarray,
     enforce_size_constraint: bool,
 ) -> Tuple[np.ndarray, float, float]:
-    n = instance.num_users
-    mc = items.shape[0]
     lp = _build_simplified(instance, items, enforce_size_constraint)
     result = lp.solve()
-    compact = np.zeros((n, instance.num_items), dtype=float)
-    x_block = result.values[: n * mc].reshape(n, mc)
-    compact[:, items] = np.clip(x_block, 0.0, 1.0)
+    compact = _decode_simplified(instance, items, result.values)
     return compact, result.objective, result.solve_seconds
 
 
@@ -352,19 +442,33 @@ def _build_full(
     return lp
 
 
+def _decode_full(
+    instance: SVGICInstance, items: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``(n, m, k)`` per-slot factors from a full-formulation solution vector."""
+    n, k = instance.num_users, instance.num_slots
+    mc = items.shape[0]
+    slot = np.zeros((n, instance.num_items, k), dtype=float)
+    x_block = values[: n * mc * k].reshape(n, mc, k)
+    slot[:, items, :] = np.clip(x_block, 0.0, 1.0)
+    return slot
+
+
 def _solve_full(
     instance: SVGICInstance,
     items: np.ndarray,
     enforce_size_constraint: bool,
 ) -> Tuple[np.ndarray, float, float]:
-    n, k = instance.num_users, instance.num_slots
-    mc = items.shape[0]
     lp = _build_full(instance, items, enforce_size_constraint)
     result = lp.solve()
-    slot = np.zeros((n, instance.num_items, k), dtype=float)
-    x_block = result.values[: n * mc * k].reshape(n, mc, k)
-    slot[:, items, :] = np.clip(x_block, 0.0, 1.0)
+    slot = _decode_full(instance, items, result.values)
     return slot, result.objective, result.solve_seconds
 
 
-__all__ = ["FractionalSolution", "candidate_items", "candidate_scores", "solve_lp_relaxation"]
+__all__ = [
+    "FractionalSolution",
+    "candidate_items",
+    "candidate_scores",
+    "solve_lp_relaxation",
+    "solve_lp_relaxations_stacked",
+]

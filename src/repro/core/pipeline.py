@@ -57,6 +57,28 @@ def instance_size_limit(instance: SVGICInstance) -> Optional[int]:
     return None
 
 
+def lp_cache_key(
+    *,
+    formulation: str = "simplified",
+    prune_items: bool = True,
+    max_candidate_items: Optional[int] = None,
+    enforce_size_constraint: bool = True,
+) -> Tuple[Any, ...]:
+    """The canonical LP-parameter cache key used by :meth:`SolveContext.fractional`.
+
+    One definition shared by the context cache, the persistent store
+    (:mod:`repro.store` serializes exactly this tuple) and the serving layer
+    (:mod:`repro.serving` solves batches under it and installs the solutions
+    back) — so a solution computed anywhere is a hit everywhere.
+    """
+    return (
+        str(formulation),
+        bool(prune_items),
+        None if max_candidate_items is None else int(max_candidate_items),
+        bool(enforce_size_constraint),
+    )
+
+
 # --------------------------------------------------------------------------- #
 # Shared per-instance solve state
 # --------------------------------------------------------------------------- #
@@ -272,7 +294,12 @@ class SolveContext:
         enforce_size_constraint: bool = True,
     ) -> FractionalSolution:
         """The LP relaxation solution for the given parameters, solved at most once."""
-        key = (formulation, bool(prune_items), max_candidate_items, bool(enforce_size_constraint))
+        key = lp_cache_key(
+            formulation=formulation,
+            prune_items=prune_items,
+            max_candidate_items=max_candidate_items,
+            enforce_size_constraint=enforce_size_constraint,
+        )
         self.lp_requests += 1
         cached = self._lp_cache.get(key)
         if cached is not None:
@@ -303,6 +330,37 @@ class SolveContext:
         if self._store is not None:
             self._store.save_lp(self.fingerprint, key, solution)
         return solution
+
+    def install_lp_solution(
+        self,
+        key: Tuple[Any, ...],
+        solution: "FractionalSolution",
+        *,
+        source: str = "external",
+    ) -> None:
+        """Seed the LP cache with an externally computed ``solution`` under ``key``.
+
+        The serving layer's micro-batcher solves one block-diagonal LP for
+        several instances and installs each instance's share into that
+        request's fresh context, so the algorithm dispatch finds the
+        relaxation in cache and never touches a solver (``lp_solves`` stays
+        zero).  ``source`` controls which hit counter later requests
+        increment: ``"external"`` (plain in-memory hit), ``"artifact"``
+        (counts into ``lp_artifact_hits``) or ``"store"`` (counts into
+        ``lp_store_hits`` — use it when the solution came off a persistent
+        store so warm-path accounting stays truthful).  Build ``key`` with
+        :func:`lp_cache_key` so it matches what the algorithms request.
+        """
+        if source not in {"external", "artifact", "store"}:
+            raise ValueError(
+                f"source must be 'external', 'artifact' or 'store', got {source!r}"
+            )
+        key = tuple(key)
+        self._lp_cache[key] = solution
+        if source == "artifact":
+            self._artifact_keys.add(key)
+        elif source == "store":
+            self._store_keys.add(key)
 
     @property
     def lp_hits(self) -> int:
@@ -710,6 +768,7 @@ __all__ = [
     "SolveContext",
     "ContextArtifacts",
     "instance_fingerprint",
+    "lp_cache_key",
     "Stage",
     "StageOutcome",
     "GreedyCompletionStage",

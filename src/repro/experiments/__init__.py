@@ -12,6 +12,7 @@ from repro.experiments.executor import (
     compile_sweep,
     job_checkpoint_key,
     plan_signature,
+    resolve_worker_count,
 )
 from repro.experiments.harness import (
     ExperimentResult,
@@ -39,6 +40,7 @@ __all__ = [
     "job_checkpoint_key",
     "SerialExecutor",
     "ParallelExecutor",
+    "resolve_worker_count",
     "CaseStudy",
     "describe_case_study",
 ]

@@ -52,6 +52,7 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -499,17 +500,21 @@ def _run_job_group(
     instance_factory: InstanceFactory,
     jobs: Tuple[SweepJob, ...],
     collect_artifacts: bool,
+    seed_artifacts: Optional[Dict[str, ContextArtifacts]] = None,
 ) -> Tuple[List[JobResult], Dict[str, ContextArtifacts]]:
     """Worker entry point: run one chunk of jobs with a chunk-local store.
 
     Module-level so it imports cleanly under both ``fork`` and ``spawn``
     start methods; importing this module (and, transitively, the registry on
     first dispatch) rehydrates all algorithm registrations in the worker.
-    The store starts from the worker-level seed; only artifacts this chunk
-    computed (or refreshed) are shipped back — seeded entries the parent
-    already holds would be pure return traffic.
+    The store starts from the worker-level seed (installed once per worker
+    by the pool initializer) unless ``seed_artifacts`` ships a chunk-level
+    seed explicitly — the path persistent (reused) pools take, since their
+    initializer ran before the current run's artifacts existed.  Only
+    artifacts this chunk computed (or refreshed) are shipped back — seeded
+    entries the parent already holds would be pure return traffic.
     """
-    seeded = _WORKER_SEED_ARTIFACTS
+    seeded = _WORKER_SEED_ARTIFACTS if seed_artifacts is None else seed_artifacts
     store: Dict[str, ContextArtifacts] = dict(seeded)
     results = [run_job(instance_factory, job, store) for job in jobs]
     if not collect_artifacts:
@@ -556,6 +561,32 @@ def _run_job_group_store(
 # --------------------------------------------------------------------------- #
 # Executors
 # --------------------------------------------------------------------------- #
+def resolve_worker_count(workers: int, *, available: Optional[int] = None) -> int:
+    """Validate a requested pool size and clamp it to the host's CPU count.
+
+    A pool wider than ``os.cpu_count()`` cannot add throughput for the
+    CPU-bound LP/MILP jobs this layer runs — it only adds process start-up
+    cost and scheduler churn — so oversubscription is treated as a caller
+    mistake: the count is clamped and a :class:`RuntimeWarning` reports both
+    numbers.  ``available`` overrides the detected CPU count (for tests);
+    when the count cannot be detected (``os.cpu_count()`` returning ``None``)
+    the request is trusted as-is.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    available = os.cpu_count() if available is None else available
+    if available is not None and workers > int(available):
+        warnings.warn(
+            f"requested {workers} workers but only {available} CPU(s) are "
+            f"available; clamping to {available} to avoid oversubscription",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return int(available)
+    return workers
+
+
 @runtime_checkable
 class Executor(Protocol):
     """Anything that can run a :class:`SweepPlan` and return its job results.
@@ -654,7 +685,18 @@ class ParallelExecutor:
     ----------
     workers:
         Pool size.  ``1`` still goes through the pool (useful for testing
-        the pickling path).
+        the pickling path).  Requests exceeding ``os.cpu_count()`` are
+        clamped with a :class:`RuntimeWarning`
+        (:func:`resolve_worker_count`) — oversubscribing CPU-bound LP jobs
+        only adds start-up cost and scheduler churn.
+    reuse_pool:
+        When True the executor keeps one persistent process pool across
+        ``run()`` / ``iter_run()`` calls instead of spawning a fresh pool
+        per run, so repeated plans pay worker start-up (and registry import)
+        once — the mode the serving layer and latency benchmarks rely on.
+        Call :meth:`close` (or use the executor as a context manager) to
+        shut the pool down.  With ``artifact_store`` seeding, a persistent
+        pool ships the seed per chunk instead of per worker.
     collect_artifacts:
         When True, worker artifact stores are shipped back and merged into
         :attr:`artifact_store`, so a later plan run through this executor
@@ -693,15 +735,14 @@ class ParallelExecutor:
         mp_context: Optional[str] = None,
         store: Optional[Any] = None,
         resume: bool = True,
+        reuse_pool: bool = False,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
         if store is not None and (collect_artifacts or artifact_store is not None):
             raise ValueError(
                 "a persistent store supersedes the in-memory artifact options; "
                 "pass either store= or artifact_store=/collect_artifacts=, not both"
             )
-        self.workers = workers
+        self.workers = resolve_worker_count(workers)
         self.collect_artifacts = collect_artifacts
         self.artifact_store: ArtifactStore = (
             artifact_store if artifact_store is not None else {}
@@ -709,8 +750,10 @@ class ParallelExecutor:
         self.mp_context = mp_context
         self.store = store
         self.resume = resume
+        self.reuse_pool = reuse_pool
         self.jobs_resumed = 0
         self.jobs_executed = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
 
     @staticmethod
     def _chunks(jobs: Iterable[SweepJob]) -> List[Tuple[SweepJob, ...]]:
@@ -725,6 +768,34 @@ class ParallelExecutor:
         import multiprocessing
 
         return multiprocessing.get_context(self.mp_context)
+
+    def _persistent_pool(self) -> ProcessPoolExecutor:
+        """The long-lived pool (created on first use) when ``reuse_pool`` is set."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._mp_ctx()
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op without ``reuse_pool``)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _finish_run(self, pool: ProcessPoolExecutor, pending: Iterable[Any]) -> None:
+        """End-of-run pool handling: per-run pools die, persistent pools drain."""
+        if pool is self._pool:
+            for future in pending:
+                future.cancel()
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def iter_run(self, plan: SweepPlan) -> Iterator[JobResult]:
         """Yield job results in completion order (chunk by chunk).
@@ -757,9 +828,13 @@ class ParallelExecutor:
         chunks = self._chunks(remaining)
         if not chunks:
             return
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)), mp_context=self._mp_ctx()
-        )
+        if self.reuse_pool:
+            pool = self._persistent_pool()
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)), mp_context=self._mp_ctx()
+            )
+        pending: set = set()
         try:
             pending = {
                 pool.submit(
@@ -780,19 +855,27 @@ class ParallelExecutor:
                     self.jobs_executed += len(chunk_results) - resumed
                     yield from chunk_results
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            self._finish_run(pool, pending)
 
     def _iter_run_seeded(self, plan: SweepPlan) -> Iterator[JobResult]:
         chunks = self._chunks(plan.jobs)
         if not chunks:
             return
         seed_artifacts = dict(self.artifact_store) if self.artifact_store else None
-        pool = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)),
-            mp_context=self._mp_ctx(),
-            initializer=_seed_worker_artifacts,
-            initargs=(seed_artifacts,),
-        )
+        if self.reuse_pool:
+            # A persistent pool's initializer ran before this run's artifacts
+            # existed, so the seed travels with each chunk instead.
+            pool = self._persistent_pool()
+            chunk_seed = seed_artifacts
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(chunks)),
+                mp_context=self._mp_ctx(),
+                initializer=_seed_worker_artifacts,
+                initargs=(seed_artifacts,),
+            )
+            chunk_seed = None
+        pending: set = set()
         try:
             pending = {
                 pool.submit(
@@ -800,6 +883,7 @@ class ParallelExecutor:
                     plan.instance_factory,
                     chunk,
                     self.collect_artifacts,
+                    chunk_seed,
                 )
                 for chunk in chunks
             }
@@ -812,7 +896,7 @@ class ParallelExecutor:
                         self.artifact_store.update(artifacts)
                     yield from chunk_results
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            self._finish_run(pool, pending)
 
     def run(self, plan: SweepPlan) -> List[JobResult]:
         return sorted(self.iter_run(plan), key=lambda result: result.job_index)
@@ -830,6 +914,7 @@ __all__ = [
     "job_checkpoint_key",
     "run_algorithms",
     "run_job",
+    "resolve_worker_count",
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",

@@ -1,0 +1,65 @@
+"""Micro-batch compatibility grouping and the batched LP solve entry points.
+
+Two requests may share one block-diagonal LP solve when their instances
+belong to the same model family (type, slot count ``k``, social weight
+``lambda``, teleportation/size-cap scalars) and they ask for identical LP
+parameters — exactly the inputs, besides the utility tables themselves, that
+shape each block's constraint system.  Instance *sizes* (users, items,
+edges) may differ: blocks are stacked, not broadcast.
+
+:func:`solve_fractional_batch` is the in-process solve;
+:func:`_solve_batch_in_worker` is the module-level process-pool entry point
+(picklable under both ``fork`` and ``spawn``) that additionally reports the
+worker's PID, which the service surfaces as :attr:`ServeResult.solver_pid`
+so tests can assert pool workers are reused rather than respawned.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.lp import FractionalSolution, solve_lp_relaxations_stacked
+from repro.core.problem import SVGICInstance
+from repro.serving.request import LPParameters
+
+
+def compatibility_key(instance: SVGICInstance, lp_params: LPParameters) -> Tuple[Any, ...]:
+    """The grouping key under which requests may be co-batched.
+
+    Everything the stacked assembly shares across blocks: the instance
+    family and its scalar knobs plus the full LP parameter key.  Requests
+    with different keys are never placed in one batch — they would solve
+    under different formulations or constraint families.
+    """
+    return (
+        type(instance).__name__,
+        int(instance.num_slots),
+        float(instance.social_weight),
+        float(getattr(instance, "teleport_discount", -1.0)),
+        int(getattr(instance, "max_subgroup_size", -1)),
+        lp_params.cache_key(),
+    )
+
+
+def solve_fractional_batch(
+    instances: Sequence[SVGICInstance], lp_params: LPParameters
+) -> List[FractionalSolution]:
+    """Solve the LP relaxations of ``instances`` in one block-diagonal solve."""
+    return solve_lp_relaxations_stacked(
+        instances,
+        formulation=lp_params.formulation,
+        max_candidate_items=lp_params.max_candidate_items,
+        prune_items=lp_params.prune_items,
+        enforce_size_constraint=lp_params.enforce_size_constraint,
+    )
+
+
+def _solve_batch_in_worker(
+    instances: Sequence[SVGICInstance], lp_params: LPParameters
+) -> Tuple[List[FractionalSolution], int]:
+    """Process-pool entry point: the batched solutions plus the worker's PID."""
+    return solve_fractional_batch(instances, lp_params), os.getpid()
+
+
+__all__ = ["compatibility_key", "solve_fractional_batch"]

@@ -16,14 +16,25 @@ the reproduction:
   MIP-strategy ablation.
 """
 
+from repro.solvers.assembly import TripletConstraintBlock, stack_constraint_blocks
 from repro.solvers.branch_and_bound import BranchAndBoundSolver, BnBResult
-from repro.solvers.linprog import LinearProgram, LPResult, solve_linear_program
+from repro.solvers.linprog import (
+    LinearProgram,
+    LPResult,
+    solve_block_diagonal,
+    solve_linear_program,
+    stack_programs,
+)
 from repro.solvers.milp import MILPResult, MixedIntegerProgram, solve_milp
 
 __all__ = [
     "LinearProgram",
     "LPResult",
     "solve_linear_program",
+    "stack_programs",
+    "solve_block_diagonal",
+    "TripletConstraintBlock",
+    "stack_constraint_blocks",
     "MixedIntegerProgram",
     "MILPResult",
     "solve_milp",

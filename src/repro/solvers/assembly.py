@@ -202,4 +202,46 @@ class TripletConstraintBlock:
         return np.concatenate(self._lhs_chunks)
 
 
-__all__ = ["TripletConstraintBlock", "assign_coefficients", "checked_index_array"]
+def stack_constraint_blocks(
+    blocks: Sequence[TripletConstraintBlock],
+) -> TripletConstraintBlock:
+    """Stack constraint blocks block-diagonally into one combined block.
+
+    Block ``i``'s columns are shifted by the total column count of the blocks
+    before it, and its rows are appended after theirs, so the assembled
+    matrix is block-diagonal: no constraint couples variables of two input
+    blocks.  This is the assembly primitive behind batched (multi-instance)
+    LP solves — each instance's constraint system is built independently and
+    stacked wholesale via the same triplet batch path the vectorized model
+    builders use.
+
+    The result tracks per-row lower bounds when any input does; rows from
+    blocks without them get the default ``-inf`` lower bound.  Input blocks
+    are left untouched (their triplets are snapshotted by ``add_rows``).
+    """
+    track_lower = any(block.track_lower for block in blocks)
+    stacked = TripletConstraintBlock(
+        sum(block.num_columns for block in blocks), track_lower=track_lower
+    )
+    offset = 0
+    for block in blocks:
+        rhs = block.rhs_vector()
+        if rhs.size:
+            rows, cols, vals = block.triplets()
+            stacked.add_rows(
+                rows,
+                cols + offset,
+                vals,
+                rhs,
+                lhs=block.lhs_vector() if block.track_lower else None,
+            )
+        offset += block.num_columns
+    return stacked
+
+
+__all__ = [
+    "TripletConstraintBlock",
+    "assign_coefficients",
+    "checked_index_array",
+    "stack_constraint_blocks",
+]

@@ -13,12 +13,19 @@ same index: ``journal_mode=WAL`` (readers never block the writer),
 ``synchronous=NORMAL`` and a 30-second ``busy_timeout``.  The connection is
 opened lazily and dropped on pickling, so an index object can ride into a
 worker process and reconnect there.
+
+The index is also safe to share across *threads* of one process (the
+serving layer's batcher thread and callers hit one store concurrently): the
+connection is opened with ``check_same_thread=False`` and every operation
+holds a process-local re-entrant lock, serializing access to the shared
+connection.  The lock, like the connection, does not survive pickling.
 """
 
 from __future__ import annotations
 
 import os
 import sqlite3
+import threading
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -41,41 +48,50 @@ def _utc_now() -> str:
 
 
 class SQLiteIndex:
-    """Lazy-connecting, picklable index over store entries."""
+    """Lazy-connecting, picklable, thread-safe index over store entries."""
 
     def __init__(self, path: os.PathLike, *, busy_timeout_ms: int = 30_000) -> None:
         self.path = Path(path)
         self.busy_timeout_ms = int(busy_timeout_ms)
         self._conn: Optional[sqlite3.Connection] = None
+        self._lock = threading.RLock()
 
     # -- connection lifecycle ------------------------------------------- #
     @property
     def connection(self) -> sqlite3.Connection:
-        if self._conn is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(str(self.path), timeout=self.busy_timeout_ms / 1000.0)
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA synchronous=NORMAL")
-            conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
-            conn.execute("PRAGMA foreign_keys=ON")
-            with conn:
-                conn.execute(_SCHEMA_SQL)
-            self._conn = conn
-        return self._conn
+        with self._lock:
+            if self._conn is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(
+                    str(self.path),
+                    timeout=self.busy_timeout_ms / 1000.0,
+                    # Shared across threads; every use holds self._lock.
+                    check_same_thread=False,
+                )
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute(f"PRAGMA busy_timeout={self.busy_timeout_ms}")
+                conn.execute("PRAGMA foreign_keys=ON")
+                with conn:
+                    conn.execute(_SCHEMA_SQL)
+                self._conn = conn
+            return self._conn
 
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __getstate__(self) -> Dict[str, Any]:
-        # Connections cannot cross process boundaries; reconnect lazily.
+        # Connections and locks cannot cross process boundaries; reconnect lazily.
         return {"path": self.path, "busy_timeout_ms": self.busy_timeout_ms}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self.path = state["path"]
         self.busy_timeout_ms = state["busy_timeout_ms"]
         self._conn = None
+        self._lock = threading.RLock()
 
     # -- entry operations ------------------------------------------------ #
     def put(
@@ -87,7 +103,7 @@ class SQLiteIndex:
         schema_version: int,
     ) -> None:
         """Insert or replace one entry (upsert on the primary key)."""
-        with self.connection as conn:
+        with self._lock, self.connection as conn:
             conn.execute(
                 "INSERT INTO entries (namespace, fingerprint, param_key, blob_sha,"
                 " schema_version, created_at) VALUES (?, ?, ?, ?, ?, ?)"
@@ -101,17 +117,18 @@ class SQLiteIndex:
         self, namespace: str, fingerprint: str, param_key: str
     ) -> Optional[Tuple[str, int]]:
         """``(blob_sha, schema_version)`` of one entry, or None."""
-        row = self.connection.execute(
-            "SELECT blob_sha, schema_version FROM entries"
-            " WHERE namespace = ? AND fingerprint = ? AND param_key = ?",
-            (namespace, fingerprint, param_key),
-        ).fetchone()
+        with self._lock:
+            row = self.connection.execute(
+                "SELECT blob_sha, schema_version FROM entries"
+                " WHERE namespace = ? AND fingerprint = ? AND param_key = ?",
+                (namespace, fingerprint, param_key),
+            ).fetchone()
         if row is None:
             return None
         return str(row[0]), int(row[1])
 
     def delete(self, namespace: str, fingerprint: str, param_key: str) -> None:
-        with self.connection as conn:
+        with self._lock, self.connection as conn:
             conn.execute(
                 "DELETE FROM entries WHERE namespace = ? AND fingerprint = ?"
                 " AND param_key = ?",
@@ -120,40 +137,43 @@ class SQLiteIndex:
 
     def params(self, namespace: str, fingerprint: str) -> List[Tuple[str, str, int]]:
         """All ``(param_key, blob_sha, schema_version)`` rows for one fingerprint."""
-        rows = self.connection.execute(
-            "SELECT param_key, blob_sha, schema_version FROM entries"
-            " WHERE namespace = ? AND fingerprint = ? ORDER BY param_key",
-            (namespace, fingerprint),
-        ).fetchall()
+        with self._lock:
+            rows = self.connection.execute(
+                "SELECT param_key, blob_sha, schema_version FROM entries"
+                " WHERE namespace = ? AND fingerprint = ? ORDER BY param_key",
+                (namespace, fingerprint),
+            ).fetchall()
         return [(str(pk), str(sha), int(sv)) for pk, sha, sv in rows]
 
     def fingerprints(self, *namespaces: str) -> List[str]:
         """Distinct fingerprints present in any of ``namespaces`` (sorted)."""
-        if not namespaces:
-            rows = self.connection.execute(
-                "SELECT DISTINCT fingerprint FROM entries ORDER BY fingerprint"
-            ).fetchall()
-        else:
-            marks = ",".join("?" for _ in namespaces)
-            rows = self.connection.execute(
-                f"SELECT DISTINCT fingerprint FROM entries WHERE namespace IN ({marks})"
-                " ORDER BY fingerprint",
-                namespaces,
-            ).fetchall()
+        with self._lock:
+            if not namespaces:
+                rows = self.connection.execute(
+                    "SELECT DISTINCT fingerprint FROM entries ORDER BY fingerprint"
+                ).fetchall()
+            else:
+                marks = ",".join("?" for _ in namespaces)
+                rows = self.connection.execute(
+                    f"SELECT DISTINCT fingerprint FROM entries WHERE namespace IN ({marks})"
+                    " ORDER BY fingerprint",
+                    namespaces,
+                ).fetchall()
         return [str(row[0]) for row in rows]
 
     def count(self, namespace: Optional[str] = None) -> int:
         """Number of entries (in one namespace, or overall)."""
-        if namespace is None:
-            row = self.connection.execute("SELECT COUNT(*) FROM entries").fetchone()
-        else:
-            row = self.connection.execute(
-                "SELECT COUNT(*) FROM entries WHERE namespace = ?", (namespace,)
-            ).fetchone()
+        with self._lock:
+            if namespace is None:
+                row = self.connection.execute("SELECT COUNT(*) FROM entries").fetchone()
+            else:
+                row = self.connection.execute(
+                    "SELECT COUNT(*) FROM entries WHERE namespace = ?", (namespace,)
+                ).fetchone()
         return int(row[0])
 
     def clear(self) -> None:
-        with self.connection as conn:
+        with self._lock, self.connection as conn:
             conn.execute("DELETE FROM entries")
 
 

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import warnings
+
 import numpy as np
 import pytest
 
@@ -13,6 +16,7 @@ from repro.experiments.executor import (
     SerialExecutor,
     compile_grid,
     compile_sweep,
+    resolve_worker_count,
     run_job,
 )
 from repro.experiments.figures import InstanceSweepFactory
@@ -334,3 +338,93 @@ class TestLegacyRunners:
                 "legacy", "d", [5], SWEEP_FACTORY, result_lambda, seed=0,
                 executor=ParallelExecutor(workers=1),
             )
+
+
+class TestWorkerResolution:
+    def test_oversubscription_clamps_with_a_warning(self):
+        with pytest.warns(RuntimeWarning, match="clamping to 2"):
+            assert resolve_worker_count(4, available=2) == 2
+
+    def test_within_budget_is_untouched_and_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_worker_count(2, available=4) == 2
+
+    def test_nonpositive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_worker_count(0)
+        with pytest.raises(ValueError):
+            resolve_worker_count(-3, available=8)
+
+    def test_unknown_cpu_count_trusts_the_request(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_worker_count(16) == 16
+
+    def test_parallel_executor_clamps_on_construction(self):
+        cores = os.cpu_count() or 1
+        with pytest.warns(RuntimeWarning):
+            executor = ParallelExecutor(workers=cores + 1)
+        assert executor.workers == cores
+
+
+class TestPoolReuse:
+    def test_reused_pool_keeps_worker_pids_across_runs(self):
+        """With ``reuse_pool`` the second run re-enters the same processes."""
+        plan = compile_sweep(
+            "reuse", "d", [5, 6], SWEEP_FACTORY, build_runners(["AVG"]), seed=0
+        )
+        with ParallelExecutor(workers=1, reuse_pool=True) as executor:
+            first = {r.provenance["pid"] for r in executor.run(plan)}
+            second = {r.provenance["pid"] for r in executor.run(plan)}
+        assert first == second
+        assert os.getpid() not in first
+
+    def test_fresh_pools_without_reuse(self):
+        """The default keeps the old behaviour: a new pool per run."""
+        plan = compile_sweep(
+            "fresh", "d", [5], SWEEP_FACTORY, build_runners(["AVG"]), seed=0
+        )
+        executor = ParallelExecutor(workers=1)
+        first = {r.provenance["pid"] for r in executor.run(plan)}
+        second = {r.provenance["pid"] for r in executor.run(plan)}
+        assert first and second  # both runs completed in worker processes
+        executor.close()  # harmless when no persistent pool exists
+
+    def test_reused_pool_still_seeds_artifacts_per_run(self):
+        """Seed artifacts reach persistent workers even without an initializer."""
+        algorithms = build_runners(["AVG"])
+        plan = compile_sweep(
+            "reuse-seed", "d", [6], ConstantFactory(), algorithms, seed=0,
+            repetitions=2,
+        )
+        with ParallelExecutor(
+            workers=1, reuse_pool=True, collect_artifacts=True
+        ) as executor:
+            executor.run(plan)
+            assert len(executor.artifact_store) == 1
+            results = executor.run(plan)
+        # Second run reuses the collected artifact: zero fresh LP solves.
+        assert all(r.provenance["lp_solves"] == 0 for r in results)
+
+
+class TestServingPoolReuse:
+    def test_service_worker_pid_is_stable_across_waves(self, tmp_path):
+        """The serving pool spawns once; later batches reuse the same worker."""
+        from repro.serving import SolverService
+
+        instances = [
+            datasets.make_instance(
+                "timik", num_users=8, num_items=20, num_slots=3, seed=800 + i
+            )
+            for i in range(4)
+        ]
+        with SolverService(
+            tmp_path / "store", workers=1, batch_window=0.0
+        ) as service:
+            first_wave = [service.solve(inst, timeout=60) for inst in instances[:2]]
+            second_wave = [service.solve(inst, timeout=60) for inst in instances[2:]]
+        pids = {serve.solver_pid for serve in first_wave + second_wave}
+        assert len(pids) == 1
+        assert os.getpid() not in pids
