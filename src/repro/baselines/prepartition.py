@@ -12,6 +12,7 @@ which is exactly the effect Figure 13 measures.
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
@@ -25,6 +26,41 @@ from repro.utils.rng import SeedLike, ensure_rng
 BaselineRunner = Callable[..., AlgorithmResult]
 
 
+def social_bfs_order(instance: SVGICInstance) -> List[int]:
+    """Deterministic social-aware user ordering: BFS from high-degree roots.
+
+    Roots are visited by ``(-degree, node id)`` and neighbours are enqueued
+    in ascending node-id order, so the ordering is a pure function of the
+    *undirected friendship graph* — independent of edge insertion order,
+    edge direction, and any RNG.  Friends end up adjacent in the ordering,
+    which is what makes contiguous blocks of it good community shards.
+    Isolated users follow in ascending id order (they surface as degree-0
+    roots).
+    """
+    order: List[int] = []
+    seen: set = set()
+    graph = instance.undirected_graph
+    start_nodes = sorted(graph.degree, key=lambda item: (-item[1], item[0]))
+    for node, _degree in start_nodes:
+        node = int(node)
+        if node in seen:
+            continue
+        seen.add(node)
+        queue = deque([node])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for v in sorted(graph.neighbors(current)):
+                v = int(v)
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+    for user in range(instance.num_users):  # guard: users missing from the graph
+        if user not in seen:
+            order.append(user)
+    return order
+
+
 def balanced_prepartition(
     instance: SVGICInstance,
     max_size: int,
@@ -34,10 +70,12 @@ def balanced_prepartition(
 ) -> List[List[int]]:
     """Split the user set into ``ceil(n / max_size)`` balanced subgroups.
 
-    With ``social_aware=True`` users are ordered by a BFS over the friendship
-    graph so friends tend to land in the same subgroup; otherwise the order
-    is random.  Subgroup sizes differ by at most one and never exceed
-    ``max_size``.
+    With ``social_aware=True`` users are ordered by the deterministic
+    :func:`social_bfs_order` BFS over the friendship graph so friends tend to
+    land in the same subgroup — that path consumes no randomness, so repeated
+    calls (any seed) produce identical partitions.  Otherwise the order is a
+    seeded random permutation.  Subgroup sizes differ by at most one and
+    never exceed ``max_size``.
     """
     if max_size <= 0:
         raise ValueError(f"max_size must be positive, got {max_size}")
@@ -46,24 +84,7 @@ def balanced_prepartition(
     generator = ensure_rng(rng)
 
     if social_aware and instance.num_edges > 0:
-        order: List[int] = []
-        seen: set = set()
-        graph = instance.undirected_graph
-        start_nodes = sorted(graph.degree, key=lambda item: -item[1])
-        for node, _degree in start_nodes:
-            if node in seen:
-                continue
-            stack = [int(node)]
-            while stack:
-                current = stack.pop()
-                if current in seen:
-                    continue
-                seen.add(current)
-                order.append(current)
-                stack.extend(int(v) for v in sorted(graph.neighbors(current)) if v not in seen)
-        for user in range(n):
-            if user not in seen:
-                order.append(user)
+        order = social_bfs_order(instance)
     else:
         order = list(generator.permutation(n))
 
@@ -123,4 +144,4 @@ def run_with_prepartition(
     )
 
 
-__all__ = ["balanced_prepartition", "run_with_prepartition"]
+__all__ = ["balanced_prepartition", "run_with_prepartition", "social_bfs_order"]

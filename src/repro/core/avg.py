@@ -107,7 +107,7 @@ def _sorted_user_lists(
     compact = fractional.compact_factors
     k = instance.num_slots
     positive_items = np.nonzero(compact.sum(axis=0) > 1e-12)[0]
-    slot_independent = fractional.formulation == "simplified"
+    slot_independent = fractional.formulation in {"simplified", "sparse"}
     for item in positive_items:
         item = int(item)
         if slot_independent:

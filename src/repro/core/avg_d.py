@@ -60,7 +60,7 @@ class _DeterministicRounder:
         self.pairs = instance.pairs
         self.pair_ids_by_user = instance.pair_ids_by_user
 
-        self.slot_independent = fractional.formulation == "simplified"
+        self.slot_independent = fractional.formulation in {"simplified", "sparse"}
         if self.slot_independent:
             self.x2 = fractional.compact_factors / k  # (n, m)
             self.x3 = None

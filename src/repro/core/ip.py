@@ -136,6 +136,149 @@ def _build_program(
     return program
 
 
+def _build_program_sparse(
+    instance: SVGICInstance,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+) -> MixedIntegerProgram:
+    """Assemble the MILP over per-user candidate lists (CSR index structure).
+
+    The sparse sibling of :func:`_build_program`: ``x`` variables exist only
+    for (user, item) cells stored in a user's list — layout
+    ``x[xi, s] -> xi * k + s`` for the ``xi``-th stored cell — and ``y`` /
+    ``z`` only for positive-weight pair-item cells present in both endpoints'
+    lists (:func:`repro.core.lp.sparse_pair_cells`), so variable and triplet
+    counts scale with stored nonzeros rather than ``n·m``.
+    """
+    from repro.core.lp import sparse_pair_cells
+    from repro.solvers.assembly import csr_row_ids
+
+    n, k = instance.num_users, instance.num_slots
+    lam = instance.social_weight
+    is_st = isinstance(instance, SVGICSTInstance)
+    d_tel = instance.teleport_discount if is_st else 0.0
+
+    user_of_x = csr_row_ids(indptr)
+    nnz_x = int(indptr[-1])
+    if np.diff(indptr).min() < k:
+        raise ValueError(
+            f"every user's candidate list needs at least k={k} items"
+        )
+    p_idx, c_idx, pos_u, pos_v = sparse_pair_cells(instance, indptr, indices)
+    npos = p_idx.size
+
+    num_x = nnz_x * k
+    num_y = npos * k
+    num_z = npos if is_st else 0
+    program = MixedIntegerProgram(num_x + num_y + num_z)
+    program.mark_integer_block(np.arange(num_x))
+
+    w_cells = lam * instance.pair_social[p_idx, c_idx]
+    objective_parts = [
+        np.repeat((1.0 - lam) * instance.preference[user_of_x, indices], k),
+        np.repeat(w_cells * (1.0 - d_tel) if is_st else w_cells, k),
+    ]
+    if is_st:
+        objective_parts.append(w_cells * d_tel)
+    program.set_objective_coefficients(
+        np.arange(program.num_variables), np.concatenate(objective_parts)
+    )
+
+    s_idx = np.arange(k)
+
+    # (1) no-duplication: one row per stored (u, c) cell over its slot block.
+    program.add_le_constraints_batch(
+        rows=np.repeat(np.arange(nnz_x), k),
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.ones(nnz_x),
+    )
+    # (2) exactly one listed item per display unit (u, s).
+    program.add_eq_constraints_batch(
+        rows=(user_of_x[:, None] * k + s_idx[None, :]).ravel(),
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.ones(n * k),
+    )
+    # (5)(6) direct coupling and (8)(9) indirect coupling per kept cell.
+    if npos:
+        y_vars = (num_x + np.arange(npos) * k)[:, None] + s_idx  # (npos, k)
+        xu_vars = (pos_u * k)[:, None] + s_idx
+        xv_vars = (pos_v * k)[:, None] + s_idx
+        block = 2 * k + (2 if is_st else 0)
+        row_u = np.arange(npos)[:, None] * block + 2 * s_idx[None, :]
+        row_v = row_u + 1
+        ones = np.ones(npos * k)
+        rows_parts = [row_u.ravel(), row_u.ravel(), row_v.ravel(), row_v.ravel()]
+        cols_parts = [y_vars.ravel(), xu_vars.ravel(), y_vars.ravel(), xv_vars.ravel()]
+        vals_parts = [ones, -ones, ones, -ones]
+        if is_st:
+            row_zu = np.arange(npos) * block + 2 * k
+            row_zv = row_zu + 1
+            z_vars = num_x + num_y + np.arange(npos)
+            rows_parts += [row_zu, np.repeat(row_zu, k), row_zv, np.repeat(row_zv, k)]
+            cols_parts += [z_vars, xu_vars.ravel(), z_vars, xv_vars.ravel()]
+            vals_parts += [np.ones(npos), -ones, np.ones(npos), -ones]
+        program.add_le_constraints_batch(
+            rows=np.concatenate(rows_parts),
+            cols=np.concatenate(cols_parts),
+            vals=np.concatenate(vals_parts),
+            rhs=np.zeros(npos * block),
+        )
+
+    # Subgroup size cap per (item, slot), over items actually carrying variables.
+    if is_st and instance.max_subgroup_size < n:
+        cap = float(instance.max_subgroup_size)
+        _, item_row = np.unique(indices, return_inverse=True)
+        program.add_le_constraints_batch(
+            rows=(item_row[:, None] * k + s_idx[None, :]).ravel(),
+            cols=np.arange(num_x),
+            vals=np.ones(num_x),
+            rhs=np.full((int(item_row.max()) + 1) * k, cap),
+        )
+    return program
+
+
+def _decode_configuration_sparse(
+    instance: SVGICInstance,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+) -> SAVGConfiguration:
+    """Decode a sparse-layout MILP solution back into a k-Configuration.
+
+    Per-user candidate lists from
+    :func:`repro.core.sparse.per_user_candidate_lists` are equal-length, so
+    the x block reshapes to ``(n, L, k)`` and decoding mirrors the dense
+    argmax-plus-duplicate-repair.
+    """
+    n, k = instance.num_users, instance.num_slots
+    sizes = np.diff(indptr)
+    if sizes.size == 0 or sizes.min() != sizes.max():
+        raise ValueError("sparse decode requires equal-length candidate lists")
+    length = int(sizes[0])
+    nnz_x = int(indptr[-1])
+    x_block = values[: nnz_x * k].reshape(n, length, k)
+    lists = indices.reshape(n, length)
+    best_li = np.argmax(x_block, axis=1)  # (n, k)
+    config = SAVGConfiguration.for_instance(instance)
+    config.assignment[:, :] = np.take_along_axis(lists, best_li, axis=1)
+    sorted_li = np.sort(best_li, axis=1)
+    duplicated = np.nonzero((sorted_li[:, 1:] == sorted_li[:, :-1]).any(axis=1))[0]
+    for u in duplicated:
+        used: set = set()
+        pref_u = instance.preference[u, lists[u]]
+        for s in range(k):
+            li = int(best_li[u, s])
+            if li in used:
+                unused = np.array([c for c in range(length) if c not in used])
+                ranked = np.lexsort((pref_u[unused], x_block[u, unused, s]))
+                li = int(unused[ranked[-1]])
+                config.assignment[u, s] = int(lists[u, li])
+            used.add(li)
+    return config
+
+
 def _decode_configuration(
     instance: SVGICInstance, items: np.ndarray, values: np.ndarray
 ) -> SAVGConfiguration:
@@ -178,6 +321,7 @@ def solve_exact(
     solver: str = "highs",
     prune_items: bool = True,
     max_candidate_items: Optional[int] = None,
+    assembly: str = "dense",
     rng: object = None,  # accepted for interface uniformity; unused (exact solver)
     context: Optional[SolveContext] = None,
 ) -> AlgorithmResult:
@@ -196,17 +340,33 @@ def solve_exact(
         the IP a (very tight) heuristic rather than provably exact on
         instances where the optimum uses an item outside the candidate set;
         pass ``prune_items=False`` for certified optima on small instances.
+    assembly:
+        ``"dense"`` (default — one shared candidate set) or ``"sparse"``
+        (per-user candidate lists; variables scale with stored nonzeros, the
+        same layout as the LP's ``formulation="sparse"``).  With
+        ``prune_items=False`` both assemble the same model up to
+        zero-objective unconstrained y/z columns, so the optimum is identical.
     """
     start = time.perf_counter()
-    if prune_items and instance.num_items > instance.num_slots:
-        if context is not None:
-            items = context.candidate_item_ids(max_candidate_items)
-        else:
-            items = candidate_items(instance, max_candidate_items)
-    else:
-        items = np.arange(instance.num_items, dtype=np.int64)
+    if assembly not in {"dense", "sparse"}:
+        raise ValueError(f"unknown assembly {assembly!r}; use 'dense' or 'sparse'")
+    indptr = indices = None
+    if assembly == "sparse":
+        from repro.core.lp import _sparse_user_lists
 
-    program = _build_program(instance, items)
+        indptr, indices = _sparse_user_lists(instance, prune_items, max_candidate_items)
+        items = np.unique(indices)
+        program = _build_program_sparse(instance, indptr, indices)
+    else:
+        if prune_items and instance.num_items > instance.num_slots:
+            if context is not None:
+                items = context.candidate_item_ids(max_candidate_items)
+            else:
+                items = candidate_items(instance, max_candidate_items)
+        else:
+            items = np.arange(instance.num_items, dtype=np.int64)
+
+        program = _build_program(instance, items)
 
     if solver == "highs":
         milp_result = program.solve(time_limit=time_limit, mip_rel_gap=mip_rel_gap)
@@ -214,6 +374,7 @@ def solve_exact(
         optimal = milp_result.optimal
         info = {
             "solver": "highs",
+            "assembly": assembly,
             "mip_gap": milp_result.mip_gap,
             "milp_seconds": milp_result.solve_seconds,
             "num_variables": program.num_variables,
@@ -236,7 +397,10 @@ def solve_exact(
     else:
         raise ValueError(f"unknown solver {solver!r}; use 'highs', 'bnb-best' or 'bnb-depth'")
 
-    configuration = _decode_configuration(instance, items, values)
+    if assembly == "sparse":
+        configuration = _decode_configuration_sparse(instance, indptr, indices, values)
+    else:
+        configuration = _decode_configuration(instance, items, values)
     configuration.validate(instance)
     elapsed = time.perf_counter() - start
     return AlgorithmResult.from_configuration(

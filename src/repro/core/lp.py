@@ -1,6 +1,6 @@
 """LP relaxations of SVGIC (Section 4.1) and the compact transformation (Section 4.4).
 
-Two formulations are provided:
+Three formulations are provided:
 
 * ``"full"`` — the straightforward relaxation ``LP_SVGIC`` with per-slot
   variables ``x[u,c,s]`` and ``y[e,c,s]`` (O((n+|E|)·m·k) variables).
@@ -8,6 +8,15 @@ Two formulations are provided:
   slot-aggregated variables ``x[u,c]`` and ``y[e,c]`` (O((n+|E|)·m)); by
   Observation 2 of the paper both have the same optimal objective and the
   per-slot utility factors are recovered as ``x*[u,c,s] = x[u,c] / k``.
+* ``"sparse"`` — LP_SIMP laid out over **per-user candidate lists** (a CSR
+  index structure from :func:`repro.core.sparse.per_user_candidate_lists`)
+  instead of one shared candidate set: ``x`` variables exist only for
+  (user, item) cells in a user's list and ``y`` only for positive-weight
+  pair-item cells present in *both* endpoints' lists, so model size scales
+  with the number of stored nonzeros, not ``n·m``.  With full lists
+  (``prune_items=False``) the program is the simplified one minus its
+  zero-objective unconstrained ``y`` columns — the optimum is identical,
+  which the equivalence tests pin at 1e-9.
 
 Both produce a :class:`FractionalSolution` whose objective value is an upper
 bound on the SVGIC optimum, and whose slot utility factors drive the AVG /
@@ -50,7 +59,7 @@ class FractionalSolution:
     lp_seconds:
         Time spent in the LP solver.
     formulation:
-        ``"simplified"`` or ``"full"``.
+        ``"simplified"``, ``"full"`` or ``"sparse"``.
     candidate_item_ids:
         Item ids (original index space) that carried LP variables.
     """
@@ -145,12 +154,24 @@ def solve_lp_relaxation(
         (``sum_u x[u,c,s] <= M`` per slot in the full formulation,
         ``sum_u x̄[u,c] <= M·k`` in the simplified one).
     formulation:
-        ``"simplified"`` (default, the Section-4.4 transformation) or ``"full"``.
+        ``"simplified"`` (default, the Section-4.4 transformation), ``"full"``
+        or ``"sparse"`` (per-user candidate lists; see the module docstring).
+        For ``"sparse"``, ``prune_items=False`` keeps every user's full item
+        list and ``prune_items=True`` truncates each list to her top
+        ``max_candidate_items`` items (default ``k + 2``) by
+        :func:`candidate_scores` — the per-user reading of the same knobs.
     max_candidate_items / prune_items:
         Control the candidate-item pruning described in the module docstring.
     """
-    if formulation not in {"simplified", "full"}:
-        raise ValueError(f"unknown formulation {formulation!r}; use 'simplified' or 'full'")
+    _check_formulation(formulation)
+
+    if formulation == "sparse":
+        indptr, indices = _sparse_user_lists(instance, prune_items, max_candidate_items)
+        compact, objective, seconds = _solve_sparse(
+            instance, indptr, indices, enforce_size_constraint
+        )
+        items = np.unique(indices)
+        return _package_solution(instance, items, formulation, compact, objective, seconds)
 
     items = _candidate_selection(instance, prune_items, max_candidate_items)
 
@@ -161,6 +182,28 @@ def solve_lp_relaxation(
         decoded, objective, seconds = _solve_full(instance, items, enforce_size_constraint)
 
     return _package_solution(instance, items, formulation, decoded, objective, seconds)
+
+
+def _check_formulation(formulation: str) -> None:
+    if formulation not in {"simplified", "full", "sparse"}:
+        raise ValueError(
+            f"unknown formulation {formulation!r}; use 'simplified', 'full' or 'sparse'"
+        )
+
+
+def _sparse_user_lists(
+    instance: SVGICInstance, prune_items: bool, max_candidate_items: Optional[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-user candidate lists for the sparse formulation (CSR indptr/indices)."""
+    from repro.core.sparse import per_user_candidate_lists
+
+    if not prune_items or instance.num_items <= instance.num_slots:
+        per_user: Optional[int] = None
+    elif max_candidate_items is not None:
+        per_user = int(max_candidate_items)
+    else:
+        per_user = instance.num_slots + 2
+    return per_user_candidate_lists(instance, per_user_items=per_user)
 
 
 def _candidate_selection(
@@ -181,7 +224,7 @@ def _package_solution(
     seconds: float,
 ) -> FractionalSolution:
     """Wrap decoded factors (compact or per-slot) into a :class:`FractionalSolution`."""
-    if formulation == "simplified":
+    if formulation in {"simplified", "sparse"}:
         compact = decoded
         # Broadcast view (read-only): x*[u,c,s] = x̄[u,c] / k for every slot.
         slot = np.broadcast_to(
@@ -225,10 +268,31 @@ def solve_lp_relaxations_stacked(
     ``lp_seconds`` on each solution is the amortized share of the one solve
     (total wall-clock divided by the batch size).
     """
-    if formulation not in {"simplified", "full"}:
-        raise ValueError(f"unknown formulation {formulation!r}; use 'simplified' or 'full'")
+    _check_formulation(formulation)
     if not instances:
         return []
+
+    if formulation == "sparse":
+        lists = [
+            _sparse_user_lists(instance, prune_items, max_candidate_items)
+            for instance in instances
+        ]
+        programs = [
+            _build_sparse(instance, indptr, indices, enforce_size_constraint)
+            for instance, (indptr, indices) in zip(instances, lists)
+        ]
+        results = solve_block_diagonal(programs)
+        return [
+            _package_solution(
+                instance,
+                np.unique(indices),
+                formulation,
+                _decode_sparse(instance, indptr, indices, result.values),
+                result.objective,
+                result.solve_seconds,
+            )
+            for instance, (indptr, indices), result in zip(instances, lists, results)
+        ]
 
     item_sets = [
         _candidate_selection(instance, prune_items, max_candidate_items)
@@ -352,6 +416,143 @@ def _solve_simplified(
 
 
 # --------------------------------------------------------------------------- #
+# Sparse formulation (LP_SIMP over per-user candidate lists)
+# --------------------------------------------------------------------------- #
+def sparse_pair_cells(
+    instance: SVGICInstance, indptr: np.ndarray, indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Pair-item cells carrying ``y`` variables under per-user lists.
+
+    Returns ``(p_idx, c_idx, pos_u, pos_v)``: the positive-weight
+    ``(pair, item)`` cells whose item appears in *both* endpoints' candidate
+    lists, with ``pos_u`` / ``pos_v`` the ordinals of the endpoints'
+    ``x`` variables in the CSR layout.  Cells whose item is missing from a
+    list are dropped — their ``y`` would be forced toward an ``x`` that does
+    not exist, i.e. 0.  Per-user lists are sorted, so the global key
+    ``user * m + item`` is sorted and every lookup is one ``searchsorted``.
+    """
+    from repro.solvers.assembly import csr_row_ids
+
+    m = np.int64(instance.num_items)
+    user_of_x = csr_row_ids(indptr)
+    keys = user_of_x * m + indices
+    w = instance.pair_social
+    p_idx, c_idx = np.nonzero(w > 0)
+    if p_idx.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    pairs = instance.pairs
+    pos_u = np.searchsorted(keys, pairs[p_idx, 0] * m + c_idx)
+    pos_v = np.searchsorted(keys, pairs[p_idx, 1] * m + c_idx)
+    guard = np.minimum(pos_u, keys.size - 1)
+    in_u = keys[guard] == pairs[p_idx, 0] * m + c_idx
+    guard = np.minimum(pos_v, keys.size - 1)
+    in_v = keys[guard] == pairs[p_idx, 1] * m + c_idx
+    keep = in_u & in_v
+    return p_idx[keep], c_idx[keep], pos_u[keep], pos_v[keep]
+
+
+def _build_sparse(
+    instance: SVGICInstance,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    enforce_size_constraint: bool,
+) -> LinearProgram:
+    """Assemble LP_SIMP over per-user candidate lists with batched triplets.
+
+    Variable layout: ``x`` variables in CSR order (user-major, items
+    ascending within a user — ordinal ``xi`` for the ``xi``-th stored cell),
+    then one ``y`` per kept pair-item cell (:func:`sparse_pair_cells` order).
+    Every constraint row references variables through the CSR index arrays,
+    so triplet count scales with stored nonzeros, never ``n·m``.
+    """
+    from repro.solvers.assembly import csr_row_ids
+
+    n, k = instance.num_users, instance.num_slots
+    lam = instance.social_weight
+    user_of_x = csr_row_ids(indptr)
+    num_x = int(indptr[-1])
+    list_sizes = np.diff(indptr)
+    if list_sizes.min() < k:
+        raise ValueError(
+            f"every user's candidate list needs at least k={k} items; "
+            f"smallest list has {int(list_sizes.min())}"
+        )
+
+    p_idx, c_idx, pos_u, pos_v = sparse_pair_cells(instance, indptr, indices)
+    num_y = p_idx.size
+    lp = LinearProgram(num_x + num_y)
+
+    # Objective: (1-lambda) p(u,c) on stored x cells, lambda w on kept y cells.
+    lp.set_objective_coefficients(
+        np.arange(num_x + num_y),
+        np.concatenate(
+            [
+                (1.0 - lam) * instance.preference[user_of_x, indices],
+                lam * instance.pair_social[p_idx, c_idx],
+            ]
+        ),
+    )
+
+    # sum_{c in list(u)} x[u,c] = k — one row per user over its CSR slice.
+    lp.add_eq_constraints_batch(
+        rows=user_of_x,
+        cols=np.arange(num_x),
+        vals=np.ones(num_x),
+        rhs=np.full(n, float(k)),
+    )
+
+    # y <= x_u and y <= x_v for each kept pair-item cell.
+    if num_y:
+        y_vars = num_x + np.arange(num_y)
+        t = np.arange(num_y)
+        ones = np.ones(num_y)
+        lp.add_le_constraints_batch(
+            rows=np.concatenate([2 * t, 2 * t, 2 * t + 1, 2 * t + 1]),
+            cols=np.concatenate([y_vars, pos_u, y_vars, pos_v]),
+            vals=np.concatenate([ones, -ones, ones, -ones]),
+            rhs=np.zeros(2 * num_y),
+        )
+
+    # Aggregate subgroup-size relaxation per item actually carrying variables.
+    if enforce_size_constraint and isinstance(instance, SVGICSTInstance):
+        cap = float(instance.max_subgroup_size * k)
+        if cap < n * 1.0:
+            _, item_row = np.unique(indices, return_inverse=True)
+            lp.add_le_constraints_batch(
+                rows=item_row,
+                cols=np.arange(num_x),
+                vals=np.ones(num_x),
+                rhs=np.full(int(item_row.max()) + 1, cap),
+            )
+    return lp
+
+
+def _decode_sparse(
+    instance: SVGICInstance, indptr: np.ndarray, indices: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """``(n, m)`` compact factors scattered back from the CSR-ordered x block."""
+    from repro.solvers.assembly import csr_row_ids
+
+    compact = np.zeros((instance.num_users, instance.num_items), dtype=float)
+    num_x = int(indptr[-1])
+    compact[csr_row_ids(indptr), indices] = np.clip(values[:num_x], 0.0, 1.0)
+    return compact
+
+
+def _solve_sparse(
+    instance: SVGICInstance,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    enforce_size_constraint: bool,
+) -> Tuple[np.ndarray, float, float]:
+    lp = _build_sparse(instance, indptr, indices, enforce_size_constraint)
+    result = lp.solve()
+    compact = _decode_sparse(instance, indptr, indices, result.values)
+    return compact, result.objective, result.solve_seconds
+
+
+# --------------------------------------------------------------------------- #
 # Full formulation (LP_SVGIC)
 # --------------------------------------------------------------------------- #
 def _build_full(
@@ -471,4 +672,5 @@ __all__ = [
     "candidate_scores",
     "solve_lp_relaxation",
     "solve_lp_relaxations_stacked",
+    "sparse_pair_cells",
 ]

@@ -545,6 +545,14 @@ class LocalSearchImprover:
     SVGIC-ST instances are handled natively: the objective includes the
     teleportation term and moves that would overfill an ``(item, slot)``
     subgroup beyond ``M`` are never proposed.
+
+    ``users`` restricts the search to a subset of users: only their display
+    units are mutated (friend-pair exchanges require *both* endpoints in the
+    subset), while gains are still evaluated against the full instance.  The
+    sharding engine's boundary-repair pass uses this to polish cut-edge users
+    without re-opening shard interiors.  ``sparse_pairs`` forwards to
+    :class:`~repro.core.objective.DeltaEvaluator` so large instances skip the
+    dense ``(P, m)`` pair-weight grid.
     """
 
     name = "local_search"
@@ -556,6 +564,8 @@ class LocalSearchImprover:
         pairwise: bool = True,
         tolerance: float = 1e-9,
         max_items: Optional[int] = None,
+        users: Optional[Sequence[int]] = None,
+        sparse_pairs: bool = False,
     ) -> None:
         if max_passes < 1:
             raise ValueError(f"max_passes must be >= 1, got {max_passes}")
@@ -565,6 +575,8 @@ class LocalSearchImprover:
         self.pairwise = pairwise
         self.tolerance = tolerance
         self.max_items = max_items
+        self.users = None if users is None else np.unique(np.asarray(users, dtype=np.int64))
+        self.sparse_pairs = sparse_pairs
 
     # -- candidate items per instance ----------------------------------- #
     def _candidate_items(
@@ -645,12 +657,27 @@ class LocalSearchImprover:
         context: Optional[SolveContext] = None,
         rng: SeedLike = None,
     ) -> StageOutcome:
-        evaluator = DeltaEvaluator(instance, configuration)
+        evaluator = DeltaEvaluator(instance, configuration, sparse_pairs=self.sparse_pairs)
         size_limit = instance_size_limit(instance)
         counts = self._cell_counts(configuration) if size_limit is not None else None
         candidates = self._candidate_items(instance, context)
         n, k = instance.num_users, instance.num_slots
         pairs = instance.pairs
+
+        if self.users is None:
+            user_iter: Sequence[int] = range(n)
+            pair_iter: Sequence[int] = range(pairs.shape[0])
+        else:
+            if self.users.size and (self.users.min() < 0 or self.users.max() >= n):
+                raise ValueError("users outside [0, num_users)")
+            user_iter = [int(u) for u in self.users]
+            member = np.zeros(n, dtype=bool)
+            member[self.users] = True
+            pair_iter = (
+                np.nonzero(member[pairs[:, 0]] & member[pairs[:, 1]])[0].tolist()
+                if pairs.shape[0]
+                else []
+            )
 
         trace: List[float] = [evaluator.total]
         moves = 0
@@ -660,7 +687,7 @@ class LocalSearchImprover:
             improved = False
 
             # Single-cell swaps, best-improvement per display unit.
-            for user in range(n):
+            for user in user_iter:
                 for slot in range(k):
                     item, _gain = self._best_cell_move(
                         evaluator, user, slot, candidates, counts, size_limit
@@ -679,7 +706,7 @@ class LocalSearchImprover:
 
             if self.pairwise:
                 # Intra-user pairwise exchange: swap the items of two slots.
-                for user in range(n):
+                for user in user_iter:
                     for s1 in range(k - 1):
                         for s2 in range(s1 + 1, k):
                             a = int(evaluator.assignment[user, s1])
@@ -706,7 +733,7 @@ class LocalSearchImprover:
                                 trace.append(evaluator.total)
 
                 # Friend-pair exchange at one slot (size-cap neutral).
-                for pid in range(pairs.shape[0]):
+                for pid in pair_iter:
                     u, v = int(pairs[pid, 0]), int(pairs[pid, 1])
                     for slot in range(k):
                         a = int(evaluator.assignment[u, slot])

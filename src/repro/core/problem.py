@@ -151,6 +151,20 @@ class SVGICInstance:
         return {(int(u), int(v)): i for i, (u, v) in enumerate(self.pairs)}
 
     @cached_property
+    def edge_pair_ids(self) -> np.ndarray:
+        """``(E,)`` row of ``pairs`` each directed edge belongs to.
+
+        ``pairs`` is lexicographically sorted (:func:`numpy.unique` output),
+        so an ordered pair maps to its row via a scalar key search.
+        """
+        if self.num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        lo = np.minimum(self.edges[:, 0], self.edges[:, 1])
+        hi = np.maximum(self.edges[:, 0], self.edges[:, 1])
+        pair_keys = self.pairs[:, 0] * np.int64(self.num_users) + self.pairs[:, 1]
+        return np.searchsorted(pair_keys, lo * np.int64(self.num_users) + hi)
+
+    @cached_property
     def pair_social(self) -> np.ndarray:
         """``(P, m)`` combined pair weights ``w^c_e = tau(u,v,c) + tau(v,u,c)``.
 
@@ -159,11 +173,8 @@ class SVGICInstance:
         co-displayed item ``c``.
         """
         weights = np.zeros((self.pairs.shape[0], self.num_items), dtype=float)
-        index = self.pair_index
-        for e in range(self.num_edges):
-            u, v = int(self.edges[e, 0]), int(self.edges[e, 1])
-            key = (u, v) if u < v else (v, u)
-            weights[index[key]] += self.social[e]
+        if self.num_edges:
+            np.add.at(weights, self.edge_pair_ids, self.social)
         return weights
 
     @cached_property
@@ -266,17 +277,12 @@ class SVGICInstance:
             raise ValueError("user_ids must be non-empty")
         if user_ids.min() < 0 or user_ids.max() >= self.num_users:
             raise ValueError("user_ids outside [0, num_users)")
-        remap = {int(old): new for new, old in enumerate(user_ids)}
-        keep_edges = []
-        for e, (u, v) in enumerate(self.edges):
-            if int(u) in remap and int(v) in remap:
-                keep_edges.append(e)
-        if keep_edges:
-            new_edges = np.array(
-                [[remap[int(self.edges[e, 0])], remap[int(self.edges[e, 1])]] for e in keep_edges],
-                dtype=np.int64,
-            )
-            new_social = self.social[keep_edges]
+        member = np.zeros(self.num_users, dtype=bool)
+        member[user_ids] = True
+        keep = member[self.edges[:, 0]] & member[self.edges[:, 1]] if self.num_edges else np.empty(0, dtype=bool)
+        if keep.any():
+            new_edges = np.searchsorted(user_ids, self.edges[keep])
+            new_social = self.social[keep]
         else:
             new_edges = np.empty((0, 2), dtype=np.int64)
             new_social = np.empty((0, self.num_items), dtype=float)
@@ -292,6 +298,43 @@ class SVGICInstance:
             user_labels=labels,
         )
         return restricted, user_ids
+
+    # ------------------------------------------------------------------ #
+    # Sparse views (CSR-backed; see :mod:`repro.core.sparse`)
+    # ------------------------------------------------------------------ #
+    def preference_csr(self, *, top_k: Optional[int] = None):
+        """CSR of the preference matrix, optionally top-K truncated per user."""
+        from repro.core import sparse as _sparse
+
+        if top_k is None:
+            return _sparse.csr_from_dense(self.preference)
+        return _sparse.top_k_csr(self.preference, top_k)
+
+    def social_csr(self):
+        """CSR of the ``(E, m)`` per-directed-edge social utility matrix."""
+        from repro.core import sparse as _sparse
+
+        return _sparse.csr_from_dense(self.social)
+
+    def adjacency_csr(self):
+        """``(n, n)`` symmetric CSR adjacency weighted by total pair social mass."""
+        from repro.core import sparse as _sparse
+
+        return _sparse.adjacency_csr(self)
+
+    def sparse_view(self, *, preference_top_k: Optional[int] = None):
+        """Read-only CSR snapshot (:class:`repro.core.sparse.SparseInstanceView`)."""
+        from repro.core import sparse as _sparse
+
+        return _sparse.SparseInstanceView.from_instance(
+            self, preference_top_k=preference_top_k
+        )
+
+    def memory_footprint(self, *, preference_top_k: Optional[int] = None) -> Dict[str, float]:
+        """Dense-vs-sparse byte estimates (:func:`repro.core.sparse.memory_report`)."""
+        from repro.core import sparse as _sparse
+
+        return _sparse.memory_report(self, preference_top_k=preference_top_k)
 
     # ------------------------------------------------------------------ #
     # Factory helpers

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.problem import SVGICInstance, SVGICSTInstance
 from repro.data import social_graphs
-from repro.data.utility_models import generate_utilities
+from repro.data.utility_models import DATASET_PROFILES, generate_utilities
 from repro.utils.rng import SeedLike, ensure_rng
 
 #: Paper defaults (Section 6.1): k=50, m=10000, n=125.  The library keeps the
@@ -46,6 +46,9 @@ def make_instance(
     utility_model: str = "piert",
     seed: SeedLike = None,
     graph: Optional[nx.Graph] = None,
+    preference_top_k: Optional[int] = None,
+    social_top_k: Optional[int] = None,
+    edge_density: Optional[float] = None,
 ) -> SVGICInstance:
     """Create a synthetic SVGIC instance in the style of one of the paper's datasets.
 
@@ -59,6 +62,19 @@ def make_instance(
     graph:
         Optionally supply a pre-built undirected friendship graph (e.g. an
         ego network); its node count must equal ``num_users``.
+    preference_top_k:
+        Keep only each user's ``top_k`` highest preference entries (ties by
+        ascending item id), zeroing the rest — the sparse-first regime where
+        CSR views compress the ``(n, m)`` table to ``O(n * top_k)``.
+    social_top_k:
+        Same truncation applied per directed edge to the ``(E, m)`` social
+        table: only the ``top_k`` items with the strongest discussion value
+        on each edge keep nonzero weight.  Without it the generated social
+        table is fully dense and CSR views cannot compress it.
+    edge_density:
+        Thin the friendship graph to this fraction of its edges (``(0, 1]``)
+        via :func:`repro.data.social_graphs.subsample_edges` before utilities
+        are generated.  Node count is unchanged; only social density drops.
     """
     generator = ensure_rng(seed)
     if graph is None:
@@ -67,8 +83,17 @@ def make_instance(
         raise ValueError(
             f"graph has {graph.number_of_nodes()} nodes but num_users={num_users}"
         )
+    if edge_density is not None:
+        graph = social_graphs.subsample_edges(graph, edge_density, rng=generator)
     edges = social_graphs.directed_edges(graph)
-    communities = _community_labels(graph)
+    # Greedy-modularity communities are only consumed by profiles with
+    # community-correlated topics (Yelp); skip the (expensive at n >= 10k)
+    # computation everywhere else.  _community_labels draws no randomness,
+    # so gating it leaves every generated instance bit-identical.
+    profile = DATASET_PROFILES.get(dataset.lower())
+    communities = (
+        _community_labels(graph) if profile is not None and profile.community_topics else None
+    )
     tables = generate_utilities(
         edges,
         num_users,
@@ -78,14 +103,23 @@ def make_instance(
         rng=generator,
         communities=communities,
     )
+    preference = tables.preference
+    social = tables.social
+    if preference_top_k is not None or social_top_k is not None:
+        from repro.core.sparse import top_k_truncate
+
+        if preference_top_k is not None:
+            preference = top_k_truncate(preference, preference_top_k)
+        if social_top_k is not None and social.size:
+            social = top_k_truncate(social, social_top_k)
     return SVGICInstance(
         num_users=num_users,
         num_items=num_items,
         num_slots=num_slots,
         social_weight=social_weight,
-        preference=tables.preference,
+        preference=preference,
         edges=edges,
-        social=tables.social,
+        social=social,
         name=f"{dataset}-{utility_model}",
     )
 
@@ -102,6 +136,9 @@ def make_st_instance(
     max_subgroup_size: int = 8,
     seed: SeedLike = None,
     graph: Optional[nx.Graph] = None,
+    preference_top_k: Optional[int] = None,
+    social_top_k: Optional[int] = None,
+    edge_density: Optional[float] = None,
 ) -> SVGICSTInstance:
     """Create an SVGIC-ST instance (teleportation discount + subgroup size cap)."""
     base = make_instance(
@@ -113,6 +150,9 @@ def make_st_instance(
         utility_model=utility_model,
         seed=seed,
         graph=graph,
+        preference_top_k=preference_top_k,
+        social_top_k=social_top_k,
+        edge_density=edge_density,
     )
     return SVGICSTInstance.from_instance(
         base, teleport_discount=teleport_discount, max_subgroup_size=max_subgroup_size

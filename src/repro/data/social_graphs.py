@@ -136,6 +136,34 @@ def directed_edges(graph: nx.Graph) -> np.ndarray:
     return _to_directed_edges(graph)
 
 
+def subsample_edges(
+    graph: nx.Graph, keep_fraction: float, *, rng: SeedLike = None
+) -> nx.Graph:
+    """Thin a friendship graph to ``keep_fraction`` of its edges, uniformly.
+
+    The node set is preserved (users may become isolated), so instance shapes
+    are unaffected — only social density changes.  The sampled edge subset is
+    a deterministic function of the seed: undirected edges are canonicalized
+    to sorted ``(lo, hi)`` tuples and sorted before drawing, so the result
+    does not depend on the generator's internal edge ordering.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    num_edges = graph.number_of_edges()
+    if keep_fraction == 1.0 or num_edges == 0:
+        return graph
+    generator = ensure_rng(rng)
+    edges = sorted(
+        (min(int(u), int(v)), max(int(u), int(v))) for u, v in graph.edges()
+    )
+    keep_count = int(round(keep_fraction * num_edges))
+    keep_ids = generator.choice(num_edges, size=keep_count, replace=False)
+    thinned = nx.Graph()
+    thinned.add_nodes_from(range(graph.number_of_nodes()))
+    thinned.add_edges_from(edges[i] for i in sorted(int(i) for i in keep_ids))
+    return thinned
+
+
 def random_walk_sample(
     graph: nx.Graph, sample_size: int, *, rng: SeedLike = None, restart_probability: float = 0.15
 ) -> List[int]:
@@ -187,6 +215,7 @@ __all__ = [
     "yelp_like_graph",
     "generate_graph",
     "directed_edges",
+    "subsample_edges",
     "random_walk_sample",
     "ego_network",
     "GRAPH_GENERATORS",

@@ -202,6 +202,23 @@ class TripletConstraintBlock:
         return np.concatenate(self._lhs_chunks)
 
 
+def csr_row_ids(indptr: np.ndarray) -> np.ndarray:
+    """Row id of every stored entry of a CSR structure, from its ``indptr``.
+
+    The batch constraint builders lay variables out over CSR index structures
+    (per-user candidate lists, pair-item nonzeros); this expands the
+    compressed row pointer into the per-entry row array those triplet batches
+    need: ``csr_row_ids([0, 2, 5]) == [0, 0, 1, 1, 1]``.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.ndim != 1 or indptr.size == 0:
+        raise ValueError("indptr must be a non-empty 1-D array")
+    counts = np.diff(indptr)
+    if counts.size and counts.min() < 0:
+        raise ValueError("indptr must be non-decreasing")
+    return np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+
+
 def stack_constraint_blocks(
     blocks: Sequence[TripletConstraintBlock],
 ) -> TripletConstraintBlock:
@@ -243,5 +260,6 @@ __all__ = [
     "TripletConstraintBlock",
     "assign_coefficients",
     "checked_index_array",
+    "csr_row_ids",
     "stack_constraint_blocks",
 ]

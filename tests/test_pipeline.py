@@ -330,12 +330,12 @@ class TestProbeMany:
         config = _random_valid_configuration(small_st_instance, rng)
         evaluator = DeltaEvaluator(small_st_instance, config)
         before_total = evaluator.total
+        before_breakdown = evaluator.breakdown
         before_assignment = evaluator.assignment.copy()
-        before_counts = evaluator._item_count.copy()
         evaluator.probe_many((2, 1), np.arange(small_st_instance.num_items))
         assert evaluator.total == before_total
+        assert evaluator.breakdown == before_breakdown
         np.testing.assert_array_equal(evaluator.assignment, before_assignment)
-        np.testing.assert_array_equal(evaluator._item_count, before_counts)
 
     def test_improver_batched_moves_match_scratch_evaluation(self, small_timik_instance):
         """End-to-end: the batched improver still only makes true improvements."""
