@@ -1,0 +1,84 @@
+"""Machine-readable benchmark reports: one ``BENCH_<name>.json`` per run.
+
+Every ``--quick`` benchmark calls :func:`emit_bench_json` with its headline
+numbers (wall times, speedups, check counts).  When the ``BENCH_JSON_DIR``
+environment variable names a directory, the report is written there as
+``BENCH_<name>.json``; otherwise the call is a no-op — local runs stay
+side-effect-free unless the caller opts in.  CI sets the variable and
+uploads the directory as a workflow artifact, so every run leaves a
+diffable performance record.
+
+Each report carries a common envelope (benchmark name, UTC timestamp,
+Python/platform info, peak RSS of this process *and* its pool workers via
+``resource.getrusage``) plus the benchmark-specific ``metrics`` mapping
+passed in.  Peak memory is in bytes, normalised from the platform's
+``ru_maxrss`` unit (kilobytes on Linux, bytes on macOS).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional
+
+#: Environment variable naming the output directory (unset → no-op).
+BENCH_JSON_DIR_ENV = "BENCH_JSON_DIR"
+
+FORMAT = "repro.bench-report.v1"
+
+
+def _ru_maxrss_bytes(usage: Any) -> int:
+    # Linux reports ru_maxrss in KiB, macOS in bytes.
+    factor = 1 if sys.platform == "darwin" else 1024
+    return int(usage.ru_maxrss) * factor
+
+
+def peak_memory_bytes() -> int:
+    """Peak RSS of this process and every reaped child (pool workers), in bytes."""
+    own = _ru_maxrss_bytes(resource.getrusage(resource.RUSAGE_SELF))
+    children = _ru_maxrss_bytes(resource.getrusage(resource.RUSAGE_CHILDREN))
+    return max(own, children)
+
+
+def emit_bench_json(
+    name: str,
+    metrics: Mapping[str, Any],
+    *,
+    failures: int = 0,
+    directory: Optional[os.PathLike] = None,
+) -> Optional[Path]:
+    """Write ``BENCH_<name>.json`` if a report directory is configured.
+
+    ``directory`` overrides the ``BENCH_JSON_DIR`` environment variable
+    (tests use it); with neither set, nothing is written and ``None`` is
+    returned.  The directory is created if missing.  ``metrics`` must be
+    JSON-serializable — benchmarks pass plain floats/ints/strings.
+    """
+    target = directory if directory is not None else os.environ.get(BENCH_JSON_DIR_ENV)
+    if not target:
+        return None
+    out_dir = Path(target)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = {
+        "format": FORMAT,
+        "benchmark": name,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "failures": int(failures),
+        "peak_memory_bytes": peak_memory_bytes(),
+        "metrics": dict(metrics),
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"bench report: {path}")
+    return path
+
+
+__all__ = ["emit_bench_json", "peak_memory_bytes", "BENCH_JSON_DIR_ENV", "FORMAT"]

@@ -32,6 +32,11 @@ from typing import List, Optional
 
 import numpy as np
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.core.pipeline import SolveContext
 from repro.core.registry import run_registered
 from repro.data import datasets
@@ -52,6 +57,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="CI smoke mode: fewer and smaller instances",
     )
     args = parser.parse_args(argv)
+    bench_started = time.perf_counter()
 
     grid = [(10, 25, 0), (15, 40, 1)] if args.quick else [
         (10, 25, 0), (15, 40, 1), (20, 60, 2), (30, 80, 3),
@@ -108,6 +114,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(expected exactly 1)"
             )
             failures += 1
+
+    emit_bench_json(
+        "local_search",
+        {
+            "wall_seconds": time.perf_counter() - bench_started,
+            "instances": len(grid),
+        },
+        failures=failures,
+    )
 
     print()
     if failures:

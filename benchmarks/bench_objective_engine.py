@@ -30,6 +30,11 @@ from typing import Callable, List, Tuple
 
 import numpy as np
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.core import objective as engine
 from repro.core import objective_reference as oracle
 from repro.core.configuration import SAVGConfiguration
@@ -124,6 +129,7 @@ def main(argv: List[str] | None = None) -> int:
         help="CI smoke mode: skip n=800 and shrink the per-measurement budget",
     )
     args = parser.parse_args(argv)
+    bench_started = time.perf_counter()
 
     sizes = (50, 200) if args.quick else (50, 200, 800)
     budget = 0.2 if args.quick else 1.0
@@ -151,7 +157,18 @@ def main(argv: List[str] | None = None) -> int:
 
     print()
     assert speedup_at_200 is not None
-    if speedup_at_200 < SPEEDUP_FLOOR:
+    failed = speedup_at_200 < SPEEDUP_FLOOR
+    emit_bench_json(
+        "objective_engine",
+        {
+            "wall_seconds": time.perf_counter() - bench_started,
+            "speedup_at_200": speedup_at_200,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "sizes": list(sizes),
+        },
+        failures=int(failed),
+    )
+    if failed:
         print(
             f"FAIL: vectorized full evaluation is only {speedup_at_200:.1f}x the scalar "
             f"oracle at n=200 (floor: {SPEEDUP_FLOOR:.0f}x)"

@@ -34,6 +34,11 @@ import sys
 import tempfile
 from typing import List, Optional
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.data import datasets
 from repro.serving import SolverService, replay_closed_loop, replay_open_loop
 
@@ -160,6 +165,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     open_loop = replay_open_loop(batched_service, requests, rate_rps=rate, seed=7)
     print(f"Open     {open_loop.summary()}  (rate {rate:.1f} req/s, warm store)")
     batched_service.close()
+
+    emit_bench_json(
+        "serving_replay",
+        {
+            "requests": count,
+            "clients": args.clients,
+            "cores": cores,
+            "serial_rps": serial.requests_per_second,
+            "batched_rps": batched.requests_per_second,
+            "throughput_speedup": batched.requests_per_second / serial.requests_per_second
+            if serial.requests_per_second
+            else None,
+            "warm_rps": warm.requests_per_second,
+            "largest_batch": max_batch,
+            "throughput_asserted": cores >= 2,
+        },
+        failures=len(failures),
+    )
 
     if failures:
         print("\nFAIL")

@@ -38,6 +38,11 @@ from typing import List, Optional
 
 import numpy as np
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.core.objective import evaluate, evaluate_sparse
 from repro.core.registry import run_registered
 from repro.core.sharding import solve_sharded
@@ -249,6 +254,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{worst['quality_gap']:+.4f} "
             f"(sharded {worst['sharded_total']:.3f} vs mono {worst['monolith_total']:.3f})"
         )
+
+    emit_bench_json(
+        "sharded_scale",
+        {
+            "populations": populations,
+            "sharded_seconds": {
+                str(row["num_users"]): row["sharded_seconds"] for row in rows
+            },
+            "sharded_peak_mb": {
+                str(row["num_users"]): row["sharded_peak_mb"] for row in rows
+            },
+            "monolith_peak_mb": largest["monolith_peak_mb"],
+            "memory_headroom": largest["monolith_peak_mb"]
+            / max(largest["sharded_peak_mb"], 1e-9),
+            "quality_gap": worst["quality_gap"] if common else None,
+        },
+        failures=0,
+    )
 
     print("[bench] OK")
     return 0

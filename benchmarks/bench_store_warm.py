@@ -32,6 +32,11 @@ import tempfile
 import time
 from typing import List, Optional
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.core.registry import build_runners
 from repro.experiments.executor import SerialExecutor, compile_sweep
 from repro.experiments.figures import InstanceSweepFactory
@@ -128,6 +133,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures.append("resumed table differs from the first run's")
 
     print(f"\nStore counters: {store.stats()}")
+    emit_bench_json(
+        "store_warm",
+        {
+            "jobs": len(plan),
+            "first_seconds": first_seconds,
+            "warm_seconds": warm_seconds,
+            "resumed_seconds": resumed_seconds,
+            "warm_speedup": first_seconds / warm_seconds if warm_seconds else None,
+            "warm_lp_solves": total_solves,
+            "warm_lp_store_hits": total_store_hits,
+        },
+        failures=len(failures),
+    )
     if failures:
         print("\nFAIL")
         for failure in failures:

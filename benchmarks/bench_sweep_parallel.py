@@ -31,6 +31,11 @@ import sys
 import time
 from typing import List, Optional
 
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
 from repro.core.registry import build_runners
 from repro.experiments.executor import ParallelExecutor, SerialExecutor, compile_sweep
 from repro.experiments.figures import InstanceSweepFactory
@@ -128,6 +133,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         print(f"NOTE: only {cpus} usable CPU — the {MIN_SPEEDUP}x speedup floor "
               "needs >= 2 cores and was not asserted")
+
+    emit_bench_json(
+        "sweep_parallel",
+        {
+            "jobs": len(plan),
+            "workers": WORKERS,
+            "usable_cpus": cpus,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "speedup_asserted": cpus >= 2,
+        },
+        failures=failures,
+    )
 
     print()
     if failures:

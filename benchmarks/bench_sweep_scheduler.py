@@ -1,0 +1,195 @@
+"""Work-stealing scheduler benchmark: chunked ParallelExecutor vs WorkStealingExecutor.
+
+The chunked executor assigns *all* repetitions of one sweep value to one
+worker.  On a heterogeneous sweep — small instances next to one instance an
+order of magnitude bigger — that chunk is the makespan: one worker grinds
+the heavy value's repetitions back to back while the others sit idle.  The
+cost-model-aware :class:`~repro.experiments.scheduler.WorkStealingExecutor`
+splits the heavy value's repetitions into separately claimable groups and
+orders groups longest-first, so the heavy repetitions run *concurrently*.
+
+Acceptance properties asserted on a Figure-5-style sweep whose largest
+instance is ~6x the next value:
+
+* **Equivalence** — the work-stealing row table matches the chunked one
+  exactly (every column except wall-clock ``seconds``): dynamic claiming
+  changes the schedule, never the science.
+* **LP reuse under stealing** — every job still reports exactly **one**
+  simplified-LP relaxation solve: affinity grouping keeps all jobs of one
+  instance on one worker.
+* **Speed-up** — the stolen sweep completes at least **1.25x** faster than
+  the chunked one with the same worker count.  Asserted only on >= 2-core
+  hosts (the equivalence and LP checks always run).
+* **Cost model** — a model trained on the run's own observed timings ranks
+  the heavy sweep value above every lighter one (monotone in ``n``).
+
+Run as a script (not collected by pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_scheduler.py [--quick]
+
+``--quick`` shrinks the sweep; it is the mode the CI smoke job runs.  Set
+``BENCH_JSON_DIR`` to also write a machine-readable ``BENCH_*.json`` report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+try:
+    from benchmarks._reporting import emit_bench_json
+except ImportError:  # executed as a script: benchmarks/ is sys.path[0]
+    from _reporting import emit_bench_json
+
+from repro.core.registry import build_runners
+from repro.experiments.executor import (
+    ParallelExecutor,
+    compile_sweep,
+    job_timing_signature,
+)
+from repro.experiments.figures import InstanceSweepFactory
+from repro.experiments.harness import run_plan
+from repro.experiments.scheduler import CostModel, WorkStealingExecutor, job_features
+
+WORKERS = 2
+MIN_SPEEDUP = 1.25
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: a smaller sweep grid",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        values, num_items, repetitions = [60, 80, 100, 360], 100, 2
+    else:
+        values, num_items, repetitions = [60, 80, 100, 140, 360], 120, 2
+
+    factory = InstanceSweepFactory(
+        dataset="timik", vary="n", num_items=num_items, num_slots=3
+    )
+    algorithms = build_runners(["AVG", "AVG-D"], {"AVG": {"repetitions": 4}})
+    plan = compile_sweep(
+        "bench-sweep-scheduler",
+        f"heterogeneous sweep, n in {values}, m={num_items}",
+        values,
+        factory,
+        algorithms,
+        seed=0,
+        repetitions=repetitions,
+    )
+    print(f"Sweep plan: {len(plan)} jobs ({len(values)} values x {repetitions} reps), "
+          f"heaviest value {max(values)} vs lightest {min(values)}")
+
+    start = time.perf_counter()
+    chunked = run_plan(plan, ParallelExecutor(workers=WORKERS))
+    chunked_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stolen = run_plan(plan, WorkStealingExecutor(workers=WORKERS))
+    stolen_seconds = time.perf_counter() - start
+
+    speedup = chunked_seconds / stolen_seconds
+    cpus = _usable_cpus()
+    print(f"chunked ({WORKERS}w):        {chunked_seconds:8.2f} s")
+    print(f"work-stealing ({WORKERS}w):  {stolen_seconds:8.2f} s   "
+          f"speedup {speedup:.2f}x   ({cpus} usable CPU(s))")
+
+    failures = 0
+
+    if chunked.comparable_rows() != stolen.comparable_rows():
+        print("FAIL: work-stealing row table differs from the chunked one")
+        failures += 1
+    else:
+        print(f"OK: {len(stolen.rows)} work-stealing rows identical to chunked "
+              "(all columns except wall-clock seconds)")
+
+    for result, label in ((chunked, "chunked"), (stolen, "work-stealing")):
+        bad = [
+            prov for prov in result.parameters["job_provenance"]
+            if prov["lp_solves"] != 1
+        ]
+        if bad:
+            print(f"FAIL: {label} jobs with lp_solves != 1: "
+                  f"{[(p['value'], p['rep'], p['lp_solves']) for p in bad]}")
+            failures += 1
+        else:
+            print(f"OK: every {label} job performed exactly 1 LP solve per instance")
+
+    # Train a cost model on the run's own observed timings and check it
+    # orders the sweep the way the wall clock did: heaviest value first.
+    observed = [
+        (
+            job_timing_signature(job),
+            prov["num_users"], prov["num_items"], prov["num_slots"],
+            prov["job_seconds"], prov.get("lp_seconds", 0.0), 1,
+        )
+        for job, prov in zip(plan.jobs, stolen.parameters["job_provenance"])
+    ]
+    model = CostModel(observed, min_samples=2)
+    estimates = {
+        value: model.estimate(job_features(plan, job))
+        for value, job in {job.value: job for job in plan.jobs}.items()
+    }
+    ordered = sorted(estimates, key=estimates.get)
+    kinds = {model.calibration(sig)["kind"] for sig, *_ in observed}
+    if ordered != sorted(values):
+        print(f"FAIL: calibrated cost model mis-ranks the sweep: {ordered} "
+              f"(estimates {estimates})")
+        failures += 1
+    else:
+        print(f"OK: calibrated cost model ({', '.join(sorted(kinds))}) is "
+              f"monotone in n: {ordered}")
+
+    if cpus >= 2:
+        if speedup < MIN_SPEEDUP:
+            print(f"FAIL: speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+                  f"with {WORKERS} workers")
+            failures += 1
+        else:
+            print(f"OK: speedup {speedup:.2f}x >= {MIN_SPEEDUP}x over the "
+                  f"chunked executor with {WORKERS} workers")
+    else:
+        print(f"NOTE: only {cpus} usable CPU — the {MIN_SPEEDUP}x speedup floor "
+              "needs >= 2 cores and was not asserted")
+
+    emit_bench_json(
+        "sweep_scheduler",
+        {
+            "jobs": len(plan),
+            "workers": WORKERS,
+            "usable_cpus": cpus,
+            "chunked_seconds": chunked_seconds,
+            "stolen_seconds": stolen_seconds,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "speedup_asserted": cpus >= 2,
+            "cost_model_kinds": sorted(kinds),
+        },
+        failures=failures,
+    )
+
+    print()
+    if failures:
+        print(f"{failures} acceptance check(s) failed.")
+        return 1
+    print("All checks passed: work stealing beats chunking on heterogeneous "
+          "sweeps without changing the table.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ to the base algorithm's configuration, and every stage records provenance
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
@@ -154,6 +155,10 @@ class SolveContext:
         ``load_lp``/``save_lp``): the load itself plus every later
         in-memory cache hit on a store-loaded entry.  These survive process
         *and invocation* boundaries — a warm store makes ``lp_solves`` zero.
+    lp_seconds:
+        Wall-clock seconds this context spent inside the LP solver (cache
+        and store hits cost nothing) — the training signal the sweep
+        scheduler's cost model separates from total job time.
     """
 
     def __init__(self, instance: SVGICInstance, *, store: Optional[Any] = None) -> None:
@@ -162,6 +167,7 @@ class SolveContext:
         self.lp_solves = 0
         self.lp_artifact_hits = 0
         self.lp_store_hits = 0
+        self.lp_seconds = 0.0
         self.last_fractional_was_hit = False
         self._lp_cache: Dict[Tuple[Any, ...], FractionalSolution] = {}
         self._artifact_keys: set = set()
@@ -319,6 +325,7 @@ class SolveContext:
                 return stored
         self.last_fractional_was_hit = False
         self.lp_solves += 1
+        solve_started = time.perf_counter()
         solution = solve_lp_relaxation(
             self.instance,
             formulation=formulation,
@@ -326,6 +333,7 @@ class SolveContext:
             max_candidate_items=max_candidate_items,
             enforce_size_constraint=enforce_size_constraint,
         )
+        self.lp_seconds += time.perf_counter() - solve_started
         self._lp_cache[key] = solution
         if self._store is not None:
             self._store.save_lp(self.fingerprint, key, solution)
@@ -371,13 +379,14 @@ class SolveContext:
         """LP optimum of the default simplified relaxation — an upper bound on OPT."""
         return self.fractional().objective
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Any]:
         """Counter snapshot for provenance reporting.
 
         ``lp_hits`` counts every request served without a solve;
         ``lp_artifact_hits`` is the subset served by entries rehydrated from
         artifacts, and ``lp_store_hits`` the subset served by an attached
         persistent store (the remainder are plain in-process hits).
+        ``lp_seconds`` is the wall time spent inside the LP solver.
         """
         return {
             "lp_requests": self.lp_requests,
@@ -386,6 +395,7 @@ class SolveContext:
             "lp_artifact_hits": self.lp_artifact_hits,
             "lp_store_hits": self.lp_store_hits,
             "lp_rehydrated_entries": len(self._artifact_keys),
+            "lp_seconds": self.lp_seconds,
         }
 
 

@@ -133,6 +133,7 @@ class ShardSolve:
     local_total: float
     lp_solves: int
     lp_store_hits: int
+    lp_seconds: float = 0.0
 
 
 def _solve_shard_task(
@@ -154,7 +155,24 @@ def _solve_shard_task(
         local_total=result.breakdown.total,
         lp_solves=context.lp_solves,
         lp_store_hits=context.lp_store_hits,
+        lp_seconds=float(getattr(context, "lp_seconds", 0.0)),
     )
+    if store is not None and hasattr(store, "record_timing"):
+        # Feed the shard's observed cost back into the store's timings table
+        # so the next sharded solve orders its shards from real history.
+        from repro.experiments.scheduler import shard_signature
+
+        try:
+            store.record_timing(
+                shard_signature(algorithm, overrides),
+                sub_instance.num_users,
+                sub_instance.num_items,
+                sub_instance.num_slots,
+                result.seconds,
+                stats.lp_seconds,
+            )
+        except Exception:
+            pass
     return shard_id, result.configuration.assignment, stats
 
 
@@ -338,6 +356,12 @@ def solve_sharded(
     """
     start = time.perf_counter()
     overrides = dict(algorithm_overrides or {})
+    # Validate/clamp the pool width up front: workers=0 is a caller error
+    # even for a single-shard instance, and oversubscription warns before
+    # any partitioning work happens.
+    from repro.experiments.executor import resolve_worker_count
+
+    requested_workers = resolve_worker_count(workers)
 
     shards = community_shards(
         instance, max_shard_users, social_aware=social_aware, rng=seed
@@ -351,24 +375,48 @@ def solve_sharded(
 
     # --- independent shard solves ------------------------------------- #
     solve_start = time.perf_counter()
+    from repro.experiments.scheduler import (
+        CostModel,
+        JobFeatures,
+        payload_cost_profile,
+        shard_signature,
+    )
+
+    signature = shard_signature(algorithm, overrides)
+    cost_model = CostModel.from_store(store)
+    profile = payload_cost_profile(algorithm)
     payloads = []
+    estimates: List[float] = []
     for shard_id, members in enumerate(shards):
         sub_instance, _user_ids = instance.subgroup_instance(members)
         payloads.append(
             (shard_id, sub_instance, algorithm, overrides, _shard_seed(seed, shard_id), store)
         )
+        estimates.append(
+            cost_model.estimate(
+                JobFeatures(
+                    signature=signature,
+                    n=sub_instance.num_users,
+                    m=sub_instance.num_items,
+                    k=sub_instance.num_slots,
+                    profiles=(profile,),
+                )
+            )
+        )
+    # Largest predicted shard first (LPT): the same cost model that orders
+    # sweep jobs orders shard solves, so no worker grinds the heaviest
+    # shard alone at the tail of the fan-out.  Outcomes are re-sorted by
+    # shard id below, so the stitch never depends on submission order.
+    order = sorted(range(len(payloads)), key=lambda i: (-estimates[i], i))
+    ordered_payloads = [payloads[i] for i in order]
 
-    if workers > 1 and len(payloads) > 1:
-        from repro.experiments.executor import resolve_worker_count
-
-        pool_size = min(resolve_worker_count(workers), len(payloads))
-    else:
-        pool_size = 1
+    pool_size = min(requested_workers, len(payloads))
     if pool_size > 1:
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            outcomes = list(pool.map(_solve_shard_task, payloads))
+            outcomes = list(pool.map(_solve_shard_task, ordered_payloads))
     else:
-        outcomes = [_solve_shard_task(payload) for payload in payloads]
+        outcomes = [_solve_shard_task(payload) for payload in ordered_payloads]
+    outcomes.sort(key=lambda outcome: outcome[0])
     solve_seconds = time.perf_counter() - solve_start
 
     # --- stitch -------------------------------------------------------- #

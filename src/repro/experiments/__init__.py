@@ -22,6 +22,12 @@ from repro.experiments.harness import (
     run_plan,
     sweep,
 )
+from repro.experiments.progress import LiveDashboard, ProgressAggregator
+from repro.experiments.scheduler import (
+    CostModel,
+    WorkStealingExecutor,
+    schedule_groups,
+)
 
 __all__ = [
     "figures",
@@ -40,6 +46,11 @@ __all__ = [
     "job_checkpoint_key",
     "SerialExecutor",
     "ParallelExecutor",
+    "WorkStealingExecutor",
+    "CostModel",
+    "schedule_groups",
+    "ProgressAggregator",
+    "LiveDashboard",
     "resolve_worker_count",
     "CaseStudy",
     "describe_case_study",

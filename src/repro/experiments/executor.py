@@ -475,15 +475,70 @@ def run_job(
         # artifacts from already-known ones by identity.
         artifact_store[context.fingerprint] = context.export_artifacts()
 
+    elapsed = time.perf_counter() - started
     provenance: Dict[str, Any] = {
         "job_index": job.index,
         "value": job.value,
         "rep": job.rep,
         "pid": os.getpid(),
-        "seconds": time.perf_counter() - started,
+        "seconds": elapsed,
+        # Uniform wall-time provenance on every execution path (serial and
+        # parallel both route through here): the cost model's training
+        # signal.  ``job_seconds`` is the full job (instance build + line-up
+        # + evaluation); ``lp_seconds`` arrives via context.stats() below.
+        "job_seconds": elapsed,
+        "num_users": instance.num_users,
+        "num_items": instance.num_items,
+        "num_slots": instance.num_slots,
     }
     provenance.update(context.stats())
     return JobResult(job_index=job.index, reports=reports, provenance=provenance)
+
+
+def job_timing_signature(job: SweepJob) -> str:
+    """Stable signature of a job's *work shape*: the line-up, not the instance.
+
+    Two jobs share a signature exactly when they run the same algorithms with
+    the same overrides and column bindings — the grouping key under which
+    observed wall times accumulate in the store's timings table and under
+    which the cost model (:mod:`repro.experiments.scheduler`) calibrates.
+    Instance size (``n``/``m``/``k``) is deliberately *not* part of the
+    signature: it is the regressor, recorded per row.
+    """
+    payloads = tuple(
+        (
+            payload.registry_name or payload.display_name,
+            tuple(sorted((str(key), repr(val)) for key, val in payload.overrides.items())),
+            tuple(sorted(payload.bind.items())),
+        )
+        for payload in job.algorithms
+    )
+    return hashlib.sha256(repr(payloads).encode("utf-8")).hexdigest()[:32]
+
+
+def record_job_timing(store: Any, job: SweepJob, result: JobResult) -> None:
+    """Persist one freshly executed job's wall time as cost-model training data.
+
+    A no-op for stores without a timings surface and for resumed results
+    (their ``job_seconds`` describes a past run already recorded).  Failures
+    are swallowed: timing collection must never break a sweep.
+    """
+    if not hasattr(store, "record_timing"):
+        return
+    prov = result.provenance
+    if prov.get("resumed") or "job_seconds" not in prov:
+        return
+    try:
+        store.record_timing(
+            job_timing_signature(job),
+            int(prov.get("num_users", 0)),
+            int(prov.get("num_items", 0)),
+            int(prov.get("num_slots", 0)),
+            float(prov["job_seconds"]),
+            float(prov.get("lp_seconds", 0.0)),
+        )
+    except Exception:
+        pass
 
 
 #: Per-worker artifact seed, installed once by the pool initializer so a
@@ -554,6 +609,7 @@ def _run_job_group_store(
                 continue
         result = run_job(instance_factory, job, store)
         store.save_job(signature, key, result)
+        record_job_timing(store, job, result)
         results.append(result)
     return results, resumed
 
@@ -665,6 +721,7 @@ class SerialExecutor:
             self.jobs_executed += 1
             if signature is not None:
                 self.store.save_job(signature, job_checkpoint_key(job), result)
+                record_job_timing(self.store, job, result)
             yield result
 
     def run(self, plan: SweepPlan) -> List[JobResult]:
@@ -912,6 +969,8 @@ __all__ = [
     "compile_grid",
     "plan_signature",
     "job_checkpoint_key",
+    "job_timing_signature",
+    "record_job_timing",
     "run_algorithms",
     "run_job",
     "resolve_worker_count",

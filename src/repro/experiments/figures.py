@@ -141,6 +141,17 @@ class FixedInstanceFactory:
             seed=self.seed,
         )
 
+    def instance_affinity(self, value, rep_seed: int) -> Tuple[Any, ...]:
+        """Every job builds the same instance, so every job shares one group.
+
+        The work-stealing scheduler (:mod:`repro.experiments.scheduler`)
+        consults this hook for its sticky-affinity grouping: a whole
+        algorithm-parameter scan collapses into a single claimable group, so
+        one worker holds the instance and the scan still pays exactly one LP
+        relaxation solve under dynamic scheduling.
+        """
+        return (self.dataset, self.num_users, self.num_items, self.num_slots, self.seed)
+
 
 # --------------------------------------------------------------------------- #
 # Figure 3 — comparisons on small datasets (utility and time vs n, m, k)

@@ -260,11 +260,39 @@ def _jsonify(value: Any) -> Any:
     return value
 
 
+def _execute_with_progress(
+    executor: Executor,
+    plan: SweepPlan,
+    progress: Optional[Callable[[JobResult], None]],
+) -> List[JobResult]:
+    """Run ``plan`` on ``executor``, invoking ``progress`` per finished job.
+
+    With a progress callback the streaming ``iter_run`` path is used so the
+    callback fires as each job *finishes* (resumed checkpoints included) —
+    not after the whole sweep.  Executors without ``iter_run`` still work:
+    the callback then fires per job once the batch returns.
+    """
+    if progress is None:
+        return executor.run(plan)
+    iter_run = getattr(executor, "iter_run", None)
+    if iter_run is None:
+        job_results = executor.run(plan)
+        for job_result in job_results:
+            progress(job_result)
+        return job_results
+    job_results = []
+    for job_result in iter_run(plan):
+        progress(job_result)
+        job_results.append(job_result)
+    return job_results
+
+
 def run_plan(
     plan: SweepPlan,
     executor: Optional[Executor] = None,
     *,
     store: Optional[Any] = None,
+    progress: Optional[Callable[[JobResult], None]] = None,
 ) -> ExperimentResult:
     """Execute a compiled :class:`SweepPlan` and aggregate rows per sweep point.
 
@@ -282,10 +310,16 @@ def run_plan(
     run only — to a passed executor that does not already carry one (an
     executor's own store always wins; executors without store support
     raise rather than silently ignoring the argument).
+
+    ``progress`` optionally names a callback invoked with each
+    :class:`JobResult` as it finishes (the executor's streaming ``iter_run``
+    path is used, so completion order — not plan order — drives the calls).
+    A :class:`~repro.experiments.progress.ProgressAggregator` or
+    :class:`~repro.experiments.progress.LiveDashboard` drops straight in.
     """
     if executor is None:
         executor = SerialExecutor(store=store)
-        job_results = executor.run(plan)
+        job_results = _execute_with_progress(executor, plan, progress)
     elif store is not None and getattr(executor, "store", None) is None:
         if not hasattr(executor, "store"):
             raise TypeError(
@@ -301,11 +335,11 @@ def run_plan(
             )
         executor.store = store
         try:
-            job_results = executor.run(plan)
+            job_results = _execute_with_progress(executor, plan, progress)
         finally:
             executor.store = None
     else:
-        job_results = executor.run(plan)
+        job_results = _execute_with_progress(executor, plan, progress)
     by_index: Dict[int, JobResult] = {jr.job_index: jr for jr in job_results}
     missing = [job.index for job in plan.jobs if job.index not in by_index]
     if missing:
@@ -353,6 +387,7 @@ def sweep(
     x_label: str = "x",
     executor: Optional[Executor] = None,
     store: Optional[Any] = None,
+    progress: Optional[Callable[[JobResult], None]] = None,
     bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> ExperimentResult:
     """Run every algorithm over a one-dimensional parameter sweep.
@@ -364,9 +399,11 @@ def sweep(
     :class:`~repro.experiments.executor.ParallelExecutor` to fan out over a
     process pool — the table is identical either way).  ``store`` threads a
     persistent artifact store through the run (LP reuse across invocations
-    plus job checkpoints; see :func:`run_plan`); ``bindings`` maps algorithm
-    names to ``{kwarg: column label}`` records so the sweep coordinate can
-    drive an algorithm parameter.
+    plus job checkpoints; see :func:`run_plan`); ``progress`` streams each
+    finished :class:`JobResult` to a callback (see :func:`run_plan` and
+    :mod:`repro.experiments.progress`); ``bindings`` maps algorithm names
+    to ``{kwarg: column label}`` records so the sweep coordinate can drive
+    an algorithm parameter.
     """
     plan = compile_sweep(
         name,
@@ -379,7 +416,7 @@ def sweep(
         x_label=x_label,
         bindings=bindings,
     )
-    return run_plan(plan, executor, store=store)
+    return run_plan(plan, executor, store=store, progress=progress)
 
 
 def grid(
@@ -396,6 +433,7 @@ def grid(
     y_label: str = "y",
     executor: Optional[Executor] = None,
     store: Optional[Any] = None,
+    progress: Optional[Callable[[JobResult], None]] = None,
     bindings: Optional[Mapping[str, Mapping[str, str]]] = None,
 ) -> ExperimentResult:
     """Run every algorithm over a two-dimensional parameter grid.
@@ -404,7 +442,8 @@ def grid(
     ``instance_factory((x, y), rep_seed)``.  Rows carry both coordinates
     (``x_label``/``y_label`` plus the generic ``x``/``y``), so
     :meth:`ExperimentResult.pivot` can build heat-map style tables.
-    ``store`` and ``bindings`` behave exactly as in :func:`sweep`.
+    ``store``, ``progress`` and ``bindings`` behave exactly as in
+    :func:`sweep`.
     """
     plan = compile_grid(
         name,
@@ -419,7 +458,7 @@ def grid(
         y_label=y_label,
         bindings=bindings,
     )
-    return run_plan(plan, executor, store=store)
+    return run_plan(plan, executor, store=store, progress=progress)
 
 
 def _average_reports(reports: Sequence[EvaluationReport]) -> Dict[str, Any]:

@@ -243,6 +243,36 @@ class ArtifactStore:
         for fingerprint, artifacts in mapping.items():
             self[fingerprint] = artifacts
 
+    # -- observed job timings (cost-model training data) ------------------ #
+    def record_timing(
+        self,
+        signature: str,
+        n: int,
+        m: int,
+        k: int,
+        job_seconds: float,
+        lp_seconds: float = 0.0,
+    ) -> None:
+        """Fold one observed job wall time into the index's timings table.
+
+        ``signature`` identifies the work shape (a line-up signature from
+        :func:`repro.experiments.executor.job_timing_signature` or a shard
+        signature); ``n``/``m``/``k`` the instance size it ran at.  The sweep
+        scheduler's cost model (:mod:`repro.experiments.scheduler`) trains on
+        these rows, so every store-backed run makes later schedules better.
+        """
+        self._index.record_timing(signature, n, m, k, job_seconds, lp_seconds)
+
+    def load_timings(
+        self, signature: Optional[str] = None
+    ) -> List[Tuple[str, int, int, int, float, float, int]]:
+        """``(signature, n, m, k, job_seconds, lp_seconds, samples)`` rows."""
+        return self._index.timings(signature)
+
+    def timing_signatures(self) -> List[str]:
+        """Distinct work-shape signatures with recorded timings."""
+        return self._index.timing_signatures()
+
     # -- maintenance ------------------------------------------------------ #
     def clear(self) -> None:
         """Drop every index entry (blobs are left for the filesystem to reclaim)."""

@@ -203,3 +203,72 @@ def test_shard_worker_is_picklable(medium_instance):
     assert shard_id == 0
     assert assignment.shape == (20, medium_instance.num_slots)
     assert stats.local_total > 0
+
+
+# --------------------------------------------------------------------------- #
+# Worker-count hygiene and cost-model integration
+# --------------------------------------------------------------------------- #
+def test_sharded_solve_rejects_zero_workers(medium_instance):
+    with pytest.raises(ValueError, match="workers"):
+        solve_sharded(
+            medium_instance, algorithm="AVG-D", max_shard_users=24, workers=0
+        )
+
+
+def test_sharded_solve_clamps_oversubscribed_workers(medium_instance):
+    import os
+
+    available = os.cpu_count() or 1
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        result = solve_sharded(
+            medium_instance,
+            algorithm="AVG-D",
+            max_shard_users=24,
+            seed=3,
+            workers=available + 7,
+        )
+    assert result.configuration.is_valid(medium_instance)
+    assert result.info["workers"] <= available
+
+
+def test_sharded_solve_parallel_matches_serial(medium_instance):
+    import warnings
+
+    serial = solve_sharded(
+        medium_instance, algorithm="AVG-D", max_shard_users=24, seed=3, workers=1
+    )
+    with warnings.catch_warnings():
+        # On a 1-CPU host the width is clamped (with a RuntimeWarning); the
+        # result must be identical either way.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        parallel = solve_sharded(
+            medium_instance, algorithm="AVG-D", max_shard_users=24, seed=3, workers=2
+        )
+    assert np.array_equal(
+        serial.configuration.assignment, parallel.configuration.assignment
+    )
+    assert serial.total == pytest.approx(parallel.total, abs=1e-12)
+
+
+def test_shard_solves_report_lp_seconds(medium_instance):
+    result = solve_sharded(
+        medium_instance, algorithm="AVG-D", max_shard_users=24, seed=3
+    )
+    assert all(s.lp_seconds >= 0.0 for s in result.shards)
+    # A cold AVG-D shard solve runs the LP, so some time must be attributed.
+    assert sum(s.lp_seconds for s in result.shards) > 0.0
+
+
+def test_store_backed_sharded_solve_records_shard_timings(tmp_path, medium_instance):
+    from repro.experiments.scheduler import shard_signature
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(tmp_path)
+    solve_sharded(
+        medium_instance, algorithm="AVG-D", max_shard_users=24, seed=4, store=store
+    )
+    signature = shard_signature("AVG-D", {})
+    rows = store.load_timings(signature)
+    assert rows, "store-backed sharded solve recorded no shard timings"
+    # One running-mean row per distinct shard shape, each with >= 1 sample.
+    assert all(row[0] == signature and row[6] >= 1 for row in rows)

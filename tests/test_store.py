@@ -481,3 +481,50 @@ class TestExperimentResultJSONEdgeCases:
         # Non-string dict keys become strings (the JSON object-key limitation).
         assert restored.parameters["3"] is False
         assert restored.parameters["arr"] == [[1.0, 0.0], [0.0, 1.0]]
+
+
+class TestTimingsTable:
+    """Observed job/shard wall times persisted for cost-model calibration."""
+
+    def test_record_and_load_round_trip(self, store):
+        store.record_timing("sig-a", 10, 20, 3, 1.5, 0.4)
+        rows = store.load_timings()
+        assert rows == [("sig-a", 10, 20, 3, 1.5, 0.4, 1)]
+
+    def test_running_mean_folds_samples(self, store):
+        store.record_timing("sig", 10, 20, 3, 1.0, 0.2)
+        store.record_timing("sig", 10, 20, 3, 3.0, 0.6)
+        ((_, _, _, _, job_seconds, lp_seconds, samples),) = store.load_timings()
+        assert job_seconds == pytest.approx(2.0)
+        assert lp_seconds == pytest.approx(0.4)
+        assert samples == 2
+
+    def test_negative_durations_are_clamped(self, store):
+        # Clock skew across worker processes must not poison the mean.
+        store.record_timing("sig", 10, 20, 3, -5.0, -1.0)
+        ((_, _, _, _, job_seconds, lp_seconds, _),) = store.load_timings()
+        assert job_seconds == 0.0
+        assert lp_seconds == 0.0
+
+    def test_signature_filter_and_size_ordering(self, store):
+        store.record_timing("sig-b", 40, 20, 3, 4.0)
+        store.record_timing("sig-b", 10, 20, 3, 1.0)
+        store.record_timing("sig-a", 10, 20, 3, 0.5)
+        rows = store.load_timings("sig-b")
+        assert [row[0] for row in rows] == ["sig-b", "sig-b"]
+        # Rows come back ordered by instance size for calibration code.
+        assert [row[1] for row in rows] == [10, 40]
+
+    def test_timing_signatures_lists_distinct_shapes(self, store):
+        assert store.timing_signatures() == []
+        store.record_timing("sig-b", 10, 20, 3, 1.0)
+        store.record_timing("sig-a", 10, 20, 3, 1.0)
+        store.record_timing("sig-a", 40, 20, 3, 2.0)
+        assert store.timing_signatures() == ["sig-a", "sig-b"]
+
+    def test_distinct_cells_do_not_share_means(self, store):
+        store.record_timing("sig", 10, 20, 3, 1.0)
+        store.record_timing("sig", 10, 20, 4, 9.0)  # different k: separate cell
+        rows = store.load_timings("sig")
+        assert len(rows) == 2
+        assert {row[6] for row in rows} == {1}
