@@ -22,7 +22,7 @@ incrementally: changing a single ``(user, slot)`` cell costs
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -470,6 +470,11 @@ class DeltaEvaluator:
                 f"({instance.num_users}, {instance.num_slots})"
             )
         self.assignment = config.assignment.copy()
+        # Preference rows are read through this indirection so dynamic
+        # sessions can drift a user's preferences without rebuilding the
+        # evaluator; copy-on-write in :meth:`update_preference_row` keeps the
+        # instance itself immutable.
+        self._pref = instance.preference
 
         # Pair structures (undirected, with both directed taus combined),
         # flattened to per-user index arrays so one mutation touches its
@@ -522,10 +527,20 @@ class DeltaEvaluator:
 
     # ------------------------------------------------------------------ #
     def _full_breakdown(self) -> UtilityBreakdown:
-        config = SAVGConfiguration(assignment=self.assignment, num_items=self.instance.num_items)
-        if self._is_st:
-            return evaluate_st(self.instance, config)
-        return evaluate(self.instance, config)
+        # Reads preference through ``self._pref`` (not the instance) so the
+        # breakdown stays truthful after :meth:`update_preference_row`; the
+        # arithmetic matches :func:`evaluate` / :func:`evaluate_st` term for
+        # term when no drift happened.
+        pref_values, _ = _masked_gather(self._pref, self.assignment)
+        preference = (1.0 - self._lam) * float(pref_values.sum())
+        direct, indirect = _raw_social_components(
+            self.instance, self.assignment, with_indirect=self._is_st
+        )
+        return UtilityBreakdown(
+            preference=preference,
+            social=self._lam * direct,
+            indirect_social=self._lam * self._d_tel * indirect,
+        )
 
     def _social_around(self, user: int, items: Tuple[int, ...]) -> Tuple[float, float]:
         """(direct, indirect) weighted social mass on ``user``'s pairs for ``items``.
@@ -566,9 +581,9 @@ class DeltaEvaluator:
         affected = tuple(c for c in {old, item} if c != UNASSIGNED)
 
         if old != UNASSIGNED:
-            self._preference -= (1.0 - self._lam) * float(self.instance.preference[user, old])
+            self._preference -= (1.0 - self._lam) * float(self._pref[user, old])
         if item != UNASSIGNED:
-            self._preference += (1.0 - self._lam) * float(self.instance.preference[user, item])
+            self._preference += (1.0 - self._lam) * float(self._pref[user, item])
 
         before_direct, before_indirect = self._social_around(user, affected)
         self.assignment[user, slot] = item
@@ -581,6 +596,86 @@ class DeltaEvaluator:
     def clear_cell(self, user: int, slot: int) -> float:
         """Unassign the display unit ``(user, slot)``; returns the new total utility."""
         return self.set_cell(user, slot, UNASSIGNED)
+
+    def clear_row(self, user: int) -> float:
+        """Unassign every display unit of ``user`` (she deactivates/leaves).
+
+        A deactivated user contributes nothing — no preference mass and no
+        direct or indirect co-displays — exactly the semantics of evaluating
+        the active subgroup only.  Costs ``O(deg(user) * k^2)`` via the
+        per-cell delta path; returns the new total utility.
+        """
+        for slot in range(self.instance.num_slots):
+            if self.assignment[user, slot] != UNASSIGNED:
+                self.set_cell(user, slot, UNASSIGNED)
+        return self.total
+
+    def set_row(self, user: int, items: Sequence[int]) -> float:
+        """Assign ``user``'s whole row (``UNASSIGNED`` entries clear cells).
+
+        The activation counterpart of :meth:`clear_row`; returns the new
+        total utility.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        if items.shape != (self.instance.num_slots,):
+            raise ValueError(
+                f"items must have shape ({self.instance.num_slots},), got {items.shape}"
+            )
+        for slot in range(self.instance.num_slots):
+            self.set_cell(user, slot, int(items[slot]))
+        return self.total
+
+    def update_preference_row(self, user: int, values: np.ndarray) -> float:
+        """Drift ``user``'s preference row to ``values`` and update the total.
+
+        The running preference mass is adjusted only for the user's assigned
+        display units (``O(k)``); the evaluator's preference view is
+        copy-on-write, so the wrapped instance is never mutated.  Social
+        terms are untouched — preference drift cannot change co-displays.
+        Returns the new total utility.
+        """
+        values = np.asarray(values, dtype=float)
+        if values.shape != (self.instance.num_items,):
+            raise ValueError(
+                f"values must have shape ({self.instance.num_items},), got {values.shape}"
+            )
+        if not np.all(np.isfinite(values)) or np.any(values < 0):
+            raise ValueError("preference values must be finite and non-negative")
+        row = self.assignment[user]
+        assigned = row[row != UNASSIGNED]
+        if assigned.size:
+            self._preference += (1.0 - self._lam) * (
+                float(values[assigned].sum()) - float(self._pref[user, assigned].sum())
+            )
+        if self._pref is self.instance.preference:
+            self._pref = self.instance.preference.copy()
+        self._pref[user] = values
+        return self.total
+
+    def direct_gains(self, user: int, slot: int) -> np.ndarray:
+        """Absolute direct marginal gain of showing each item at ``(user, slot)``.
+
+        Entry ``c`` is ``(1-lambda) p(u, c)`` plus ``lambda * w^c_e`` summed
+        over the incident pairs whose other endpoint currently displays ``c``
+        at ``slot`` — the quantity the dynamic session's greedy join policy
+        ranks items by (Section 5F), batched over all ``m`` items in
+        ``O(deg(user) + m)``.  Deliberately *excludes* the teleportation
+        term, matching the scalar reference's per-edge marginal gain; unlike
+        :meth:`probe_many` the values are absolute, not deltas against the
+        currently displayed item.
+        """
+        gains = (1.0 - self._lam) * self._pref[user].copy()
+        pids, others = self._incident[user]
+        if pids.size:
+            shown = self.assignment[others, slot]
+            assigned = shown != UNASSIGNED
+            if np.any(assigned):
+                np.add.at(
+                    gains,
+                    shown[assigned],
+                    self._lam * self._w_cells(pids[assigned], shown[assigned]),
+                )
+        return gains
 
     def probe_many(self, unit: Tuple[int, int], candidates: np.ndarray) -> np.ndarray:
         """Utility deltas of assigning each of ``candidates`` to display unit ``unit``.
@@ -608,7 +703,7 @@ class DeltaEvaluator:
             )
         old = int(self.assignment[user, slot])
 
-        pref = self.instance.preference[user]
+        pref = self._pref[user]
         old_pref = float(pref[old]) if old != UNASSIGNED else 0.0
         deltas = (1.0 - self._lam) * (pref[candidates] - old_pref)
 
@@ -719,6 +814,22 @@ class DeltaEvaluator:
         return item_delta[candidates] + old_delta
 
     # ------------------------------------------------------------------ #
+    @property
+    def preference_table(self) -> np.ndarray:
+        """The ``(n, m)`` preference table this evaluator reads (read-only).
+
+        Identical to ``instance.preference`` until the first
+        :meth:`update_preference_row` call, after which it is the evaluator's
+        private drifted copy — the churn engine snapshots it to build
+        drift-consistent re-solve instances.
+        """
+        return self._pref
+
+    @property
+    def preference_drifted(self) -> bool:
+        """True once :meth:`update_preference_row` has diverged from the instance."""
+        return self._pref is not self.instance.preference
+
     @property
     def breakdown(self) -> UtilityBreakdown:
         """Current weighted utility decomposition."""

@@ -379,6 +379,38 @@ class SolveContext:
         """LP optimum of the default simplified relaxation — an upper bound on OPT."""
         return self.fractional().objective
 
+    def peek_lp_bound(
+        self,
+        *,
+        formulation: str = "simplified",
+        prune_items: bool = True,
+        max_candidate_items: Optional[int] = None,
+        enforce_size_constraint: bool = True,
+    ) -> Optional[float]:
+        """The cached LP bound for the given parameters, or ``None`` — never solves.
+
+        Checks the in-memory cache, then an attached store; a store hit is
+        promoted into the cache.  The churn engine's re-solve policy uses
+        this to track incumbent degradation against the bound without ever
+        paying an LP solve on the event hot path.
+        """
+        key = lp_cache_key(
+            formulation=formulation,
+            prune_items=prune_items,
+            max_candidate_items=max_candidate_items,
+            enforce_size_constraint=enforce_size_constraint,
+        )
+        cached = self._lp_cache.get(key)
+        if cached is not None:
+            return float(cached.objective)
+        if self._store is not None:
+            stored = self._store.load_lp(self.fingerprint, key)
+            if stored is not None:
+                self._lp_cache[key] = stored
+                self._store_keys.add(key)
+                return float(stored.objective)
+        return None
+
     def stats(self) -> Dict[str, Any]:
         """Counter snapshot for provenance reporting.
 
@@ -600,14 +632,13 @@ class LocalSearchImprover:
 
     # -- move probes ----------------------------------------------------- #
     @staticmethod
-    def _cell_counts(config: SAVGConfiguration) -> np.ndarray:
+    def _cell_counts(assignment: np.ndarray, num_items: int) -> np.ndarray:
         """``(m, k)`` subgroup sizes: users displayed item ``c`` at slot ``s``."""
-        counts = np.zeros((config.num_items, config.num_slots), dtype=np.int64)
-        mask = config.assignment != UNASSIGNED
-        slots = np.broadcast_to(
-            np.arange(config.num_slots), config.assignment.shape
-        )[mask]
-        np.add.at(counts, (config.assignment[mask], slots), 1)
+        num_slots = assignment.shape[1]
+        counts = np.zeros((num_items, num_slots), dtype=np.int64)
+        mask = assignment != UNASSIGNED
+        slots = np.broadcast_to(np.arange(num_slots), assignment.shape)[mask]
+        np.add.at(counts, (assignment[mask], slots), 1)
         return counts
 
     def _best_cell_move(
@@ -662,14 +693,36 @@ class LocalSearchImprover:
     def apply(
         self,
         instance: SVGICInstance,
-        configuration: SAVGConfiguration,
+        configuration: Optional[SAVGConfiguration],
         *,
         context: Optional[SolveContext] = None,
         rng: SeedLike = None,
+        evaluator: Optional[DeltaEvaluator] = None,
+        counts: Optional[np.ndarray] = None,
     ) -> StageOutcome:
-        evaluator = DeltaEvaluator(instance, configuration, sparse_pairs=self.sparse_pairs)
+        """Run the local search; see the class docstring.
+
+        The default mode builds a private :class:`DeltaEvaluator` over
+        ``configuration``.  **In-place mode** — pass ``evaluator=`` (and,
+        for size-capped instances, the caller's live ``counts=`` grid) — runs
+        the search directly on a caller-owned evaluator instead: moves mutate
+        its assignment and running total, ``configuration`` is ignored (may
+        be ``None``), and the from-scratch ``delta_drift`` verification is
+        skipped so the event hot path stays strictly incremental.  The churn
+        engine repairs dynamic sessions this way, restricted via ``users=``
+        to the neighbourhood an event touched.
+        """
+        in_place = evaluator is not None
+        if in_place:
+            if evaluator.instance is not instance:
+                raise ValueError("in-place evaluator must wrap the same instance")
+        else:
+            evaluator = DeltaEvaluator(
+                instance, configuration, sparse_pairs=self.sparse_pairs
+            )
         size_limit = instance_size_limit(instance)
-        counts = self._cell_counts(configuration) if size_limit is not None else None
+        if size_limit is not None and counts is None:
+            counts = self._cell_counts(evaluator.assignment, instance.num_items)
         candidates = self._candidate_items(instance, context)
         n, k = instance.num_users, instance.num_slots
         pairs = instance.pairs
@@ -765,18 +818,20 @@ class LocalSearchImprover:
 
         final = evaluator.configuration()
         delta_total = evaluator.total
-        drift = abs(delta_total - total_utility(instance, final))
-        return StageOutcome(
-            final,
-            {
-                "moves": moves,
-                "passes": passes,
-                "initial_utility": trace[0],
-                "final_utility": delta_total,
-                "utility_trace": trace,
-                "delta_drift": drift,
-            },
-        )
+        info: Dict[str, Any] = {
+            "moves": moves,
+            "passes": passes,
+            "initial_utility": trace[0],
+            "final_utility": delta_total,
+            "utility_trace": trace,
+            "in_place": in_place,
+        }
+        if not in_place:
+            # A caller-owned evaluator may hold partial rows (inactive users)
+            # or drifted preferences; the from-scratch cross-check is only
+            # meaningful — and only paid — in the private-evaluator mode.
+            info["delta_drift"] = abs(delta_total - total_utility(instance, final))
+        return StageOutcome(final, info)
 
 
 # --------------------------------------------------------------------------- #

@@ -7,7 +7,8 @@ the structural characteristics the evaluation relies on.  See DESIGN.md for
 the substitution table.
 """
 
-from repro.data import adversarial, datasets, example_paper, social_graphs, user_study, utility_models
+from repro.data import adversarial, churn, datasets, example_paper, social_graphs, user_study, utility_models
+from repro.data.churn import ChurnEvent, ChurnTrace, make_churn_trace
 from repro.data.datasets import (
     ego_network_instance,
     make_instance,
@@ -18,6 +19,7 @@ from repro.data.example_paper import paper_example_instance
 
 __all__ = [
     "adversarial",
+    "churn",
     "datasets",
     "example_paper",
     "social_graphs",
@@ -28,4 +30,7 @@ __all__ = [
     "small_sampled_instance",
     "ego_network_instance",
     "paper_example_instance",
+    "ChurnEvent",
+    "ChurnTrace",
+    "make_churn_trace",
 ]

@@ -5,11 +5,16 @@
 * :mod:`repro.extensions.multi_view` — multi-view display (5C).
 * :mod:`repro.extensions.groupwise` — generalized group-wise social benefits (5D).
 * :mod:`repro.extensions.subgroup_change` — subgroup-change smoothing (5E).
-* :mod:`repro.extensions.dynamic` — dynamic user join/leave (5F).
+* :mod:`repro.extensions.dynamic` — incremental dynamic sessions for user
+  join/leave/preference drift (5F), scalar oracle in
+  :mod:`repro.extensions.dynamic_reference`.
+* :mod:`repro.extensions.churn` — warm-start re-optimization engine over a
+  dynamic session (event-local repair, LP-bound-triggered re-solves).
 * :mod:`repro.extensions.seo` — Social Event Organization as an application
   of SVGIC-ST (Section 4.4).
 """
 
+from repro.extensions.churn import ChurnEngine, ResolvePolicy, replay_incremental, solve_active
 from repro.extensions.commodity import apply_commodity_values, solve_with_commodity_values
 from repro.extensions.dynamic import DynamicSession
 from repro.extensions.groupwise import DiminishingReturnsModel, groupwise_total_utility
@@ -36,6 +41,10 @@ __all__ = [
     "subgroup_change_cost",
     "smooth_subgroup_changes",
     "DynamicSession",
+    "ChurnEngine",
+    "ResolvePolicy",
+    "replay_incremental",
+    "solve_active",
     "SEOInstance",
     "organize_events",
 ]

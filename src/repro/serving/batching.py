@@ -62,4 +62,47 @@ def _solve_batch_in_worker(
     return solve_fractional_batch(instances, lp_params), os.getpid()
 
 
+def _decode_in_worker(
+    instance: SVGICInstance,
+    algorithm: str,
+    seed: int,
+    key: Tuple[Any, ...],
+    solution: FractionalSolution,
+    source: str,
+    store: Any,
+) -> Tuple[Any, int, int, float, int]:
+    """Process-pool entry point for one request's decode stage.
+
+    Mirrors the service's in-thread decode exactly: a fresh
+    :class:`~repro.core.pipeline.SolveContext` seeded with the request's LP
+    solution, the registered algorithm run under the request-derived
+    generator — so a decoded result is a function of the request alone,
+    independent of which worker (or arrival order) decoded it.  ``store`` is
+    the service's (picklable) artifact store, re-opened worker-side so
+    fallback LP solves still hit the warm path.  Returns
+    ``(result, lp_solves, lp_store_hits, decode_seconds, pid)``.
+    """
+    import time
+
+    from repro.core.pipeline import SolveContext
+    from repro.core.registry import run_registered
+    from repro.utils.rng import derive_seed
+
+    started = time.perf_counter()
+    context = SolveContext(instance)
+    if store is not None:
+        context.attach_store(store)
+    context.install_lp_solution(key, solution, source=source)
+    result = run_registered(
+        algorithm, instance, context=context, rng=derive_seed(seed, algorithm)
+    )
+    return (
+        result,
+        context.lp_solves,
+        context.lp_store_hits,
+        time.perf_counter() - started,
+        os.getpid(),
+    )
+
+
 __all__ = ["compatibility_key", "solve_fractional_batch"]

@@ -73,6 +73,9 @@ class ServeResult:
     block-diagonal solve (zero on cache hits); ``lp_solves`` is the solver
     invocations its decode context performed — zero unless the algorithm
     requested LP parameters other than the request's (the fallback path).
+    ``decode_pid`` is the process that ran the decode stage: the service
+    process for serial decodes, a pool worker when the service fanned the
+    batch's decodes out to its persistent pool.
     """
 
     request_id: int
@@ -91,6 +94,7 @@ class ServeResult:
     lp_store_hits: int
     submitted_at: float
     completed_at: float
+    decode_pid: int = 0
 
     @property
     def objective(self) -> float:

@@ -22,7 +22,11 @@ through a thread-safe submit/future API:
   solution (:meth:`~repro.core.pipeline.SolveContext.install_lp_solution`)
   and the registered algorithm runs with a generator derived from
   ``derive_seed(request.seed, algorithm)`` — results are a function of the
-  request alone, never of arrival order or batch composition.
+  request alone, never of arrival order or batch composition.  With
+  ``workers >= 1`` and more than one live request, the decode stage is
+  fanned out across the same persistent pool (one task per request,
+  ``ServeResult.decode_pid`` records where each ran); the per-request
+  seeding makes the parallel and serial paths produce identical results.
 
 Cancellation is deterministic: futures are claimed
 (``set_running_or_notify_cancel``) only when the batcher starts processing
@@ -42,11 +46,12 @@ from typing import Any, Deque, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.pipeline import SolveContext, instance_fingerprint
+from repro.core.pipeline import instance_fingerprint
 from repro.core.problem import SVGICInstance
-from repro.core.registry import get_algorithm, run_registered
+from repro.core.registry import get_algorithm
 from repro.experiments.executor import resolve_worker_count
 from repro.serving.batching import (
+    _decode_in_worker,
     _solve_batch_in_worker,
     compatibility_key,
     solve_fractional_batch,
@@ -58,7 +63,6 @@ from repro.serving.request import (
     ServingTicket,
 )
 from repro.store import ArtifactStore
-from repro.utils.rng import derive_seed
 
 
 @dataclass
@@ -353,56 +357,119 @@ class SolverService:
             if to_solve:
                 self._counters["lp_batches"] += 1
 
-        # Decode each request independently on its own seeded context.
-        for fingerprint, pending in zip(fingerprints, live):
-            future = pending.ticket._future
-            request = pending.request
-            cache_hit = fingerprint in store_hits
-            decode_start = time.perf_counter()
-            try:
-                context = SolveContext(request.instance)
-                if self.store is not None:
-                    context.attach_store(self.store)
-                context.install_lp_solution(
+        # Decode each request independently on its own seeded context: in the
+        # batcher thread, or — with a pool configured and more than one live
+        # request — fanned out across the persistent workers.  Results are a
+        # function of the request alone (per-request derived seeds), so the
+        # two paths and any worker interleaving produce identical configurations.
+        decode_jobs = [
+            (pending, fingerprint, fingerprint in store_hits)
+            for fingerprint, pending in zip(fingerprints, live)
+        ]
+        if self.workers and len(live) > 1:
+            pool = self._ensure_pool()
+            decode_futures = [
+                pool.submit(
+                    _decode_in_worker,
+                    pending.request.instance,
+                    pending.request.algorithm,
+                    pending.request.seed,
                     key,
                     solutions[fingerprint],
-                    source="store" if cache_hit else "external",
+                    "store" if cache_hit else "external",
+                    self.store,
                 )
-                result = run_registered(
-                    request.algorithm,
-                    request.instance,
-                    context=context,
-                    rng=derive_seed(request.seed, request.algorithm),
+                for pending, fingerprint, cache_hit in decode_jobs
+            ]
+            for (pending, fingerprint, cache_hit), decode_future in zip(
+                decode_jobs, decode_futures
+            ):
+                try:
+                    outcome = decode_future.result()
+                except Exception as exc:
+                    pending.ticket._future.set_exception(exc)
+                    continue
+                self._finish_decode(
+                    pending,
+                    fingerprint,
+                    cache_hit,
+                    outcome,
+                    solutions=solutions,
+                    batch_id=batch_id,
+                    batch_size=len(live),
+                    started=started,
+                    solver_pid=solver_pid,
                 )
-            except Exception as exc:
-                future.set_exception(exc)
-                continue
-            completed_at = time.perf_counter()
-            serve = ServeResult(
-                request_id=pending.ticket.request_id,
-                algorithm=request.algorithm,
-                result=result,
-                fingerprint=fingerprint,
-                cache_hit=cache_hit,
-                batch_id=batch_id,
-                batch_size=len(live),
-                queue_seconds=started - pending.submitted_at,
-                solve_seconds=0.0 if cache_hit else float(solutions[fingerprint].lp_seconds),
-                decode_seconds=completed_at - decode_start,
-                total_seconds=completed_at - pending.submitted_at,
-                solver_pid=solver_pid if not cache_hit else os.getpid(),
-                lp_solves=context.lp_solves,
-                lp_store_hits=context.lp_store_hits,
-                submitted_at=pending.submitted_at,
-                completed_at=completed_at,
-            )
-            with self._stats_lock:
-                self._counters["completed"] += 1
-                self._counters["fallback_solves"] += context.lp_solves
-                self._latencies.append(serve.total_seconds)
-            future.set_result(serve)
+        else:
+            for pending, fingerprint, cache_hit in decode_jobs:
+                try:
+                    outcome = _decode_in_worker(
+                        pending.request.instance,
+                        pending.request.algorithm,
+                        pending.request.seed,
+                        key,
+                        solutions[fingerprint],
+                        "store" if cache_hit else "external",
+                        self.store,
+                    )
+                except Exception as exc:
+                    pending.ticket._future.set_exception(exc)
+                    continue
+                self._finish_decode(
+                    pending,
+                    fingerprint,
+                    cache_hit,
+                    outcome,
+                    solutions=solutions,
+                    batch_id=batch_id,
+                    batch_size=len(live),
+                    started=started,
+                    solver_pid=solver_pid,
+                )
 
-    def _pool_solve(self, instances: Sequence[SVGICInstance], lp_params: LPParameters):
+    def _finish_decode(
+        self,
+        pending: _Pending,
+        fingerprint: str,
+        cache_hit: bool,
+        outcome: tuple,
+        *,
+        solutions: Dict[str, Any],
+        batch_id: int,
+        batch_size: int,
+        started: float,
+        solver_pid: int,
+    ) -> None:
+        """Assemble and publish one request's ServeResult from a decode outcome."""
+        result, lp_solves, lp_store_hits, decode_seconds, decode_pid = outcome
+        request = pending.request
+        completed_at = time.perf_counter()
+        serve = ServeResult(
+            request_id=pending.ticket.request_id,
+            algorithm=request.algorithm,
+            result=result,
+            fingerprint=fingerprint,
+            cache_hit=cache_hit,
+            batch_id=batch_id,
+            batch_size=batch_size,
+            queue_seconds=started - pending.submitted_at,
+            solve_seconds=0.0 if cache_hit else float(solutions[fingerprint].lp_seconds),
+            decode_seconds=decode_seconds,
+            total_seconds=completed_at - pending.submitted_at,
+            solver_pid=solver_pid if not cache_hit else os.getpid(),
+            lp_solves=lp_solves,
+            lp_store_hits=lp_store_hits,
+            submitted_at=pending.submitted_at,
+            completed_at=completed_at,
+            decode_pid=decode_pid,
+        )
+        with self._stats_lock:
+            self._counters["completed"] += 1
+            self._counters["fallback_solves"] += lp_solves
+            self._latencies.append(serve.total_seconds)
+        pending.ticket._future.set_result(serve)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         with self._pool_lock:
             if self._pool is None:
                 mp_ctx = None
@@ -413,8 +480,12 @@ class SolverService:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers, mp_context=mp_ctx
                 )
-            pool = self._pool
-        return pool.submit(_solve_batch_in_worker, list(instances), lp_params).result()
+            return self._pool
+
+    def _pool_solve(self, instances: Sequence[SVGICInstance], lp_params: LPParameters):
+        return self._ensure_pool().submit(
+            _solve_batch_in_worker, list(instances), lp_params
+        ).result()
 
 
 __all__ = ["SolverService"]

@@ -223,3 +223,60 @@ class TestReplayHarness:
         assert report.count == 3
         assert all(result is not None for result in report.results)
         assert report.parameters["rate_rps"] == 50.0
+
+
+class TestParallelDecode:
+    """With a pool configured, multi-request batches decode on the workers."""
+
+    def test_decode_fans_out_to_pool_workers(self, tmp_path):
+        import os
+
+        with SolverService(
+            tmp_path / "store", workers=1, batch_window=0.5, max_batch_size=4
+        ) as service:
+            tickets = [service.submit(make_instance(300 + i), seed=i) for i in range(3)]
+            results = [ticket.result(timeout=120) for ticket in tickets]
+        assert all(result.batch_size == 3 for result in results)
+        assert all(result.decode_pid != os.getpid() for result in results)
+        assert all(result.decode_seconds > 0 for result in results)
+
+    def test_single_request_batches_decode_in_process(self, tmp_path):
+        import os
+
+        with SolverService(
+            tmp_path / "store", workers=1, batch_window=0.0, max_batch_size=4
+        ) as service:
+            serve = service.solve(make_instance(310), timeout=120)
+        assert serve.batch_size == 1
+        assert serve.decode_pid == os.getpid()
+
+    def test_parallel_decode_matches_serial_results(self, tmp_path):
+        seeds = [0, 1, 2]
+        instances = [make_instance(320 + i) for i in seeds]
+        with SolverService(
+            tmp_path / "parallel", workers=1, batch_window=0.5, max_batch_size=4
+        ) as service:
+            tickets = [
+                service.submit(instance, seed=seed)
+                for instance, seed in zip(instances, seeds)
+            ]
+            parallel = [ticket.result(timeout=120).objective for ticket in tickets]
+        with SolverService(
+            tmp_path / "serial", workers=0, batch_window=0.5, max_batch_size=4
+        ) as service:
+            tickets = [
+                service.submit(instance, seed=seed)
+                for instance, seed in zip(instances, seeds)
+            ]
+            serial = [ticket.result(timeout=120).objective for ticket in tickets]
+        assert parallel == pytest.approx(serial, abs=0)
+
+    def test_parallel_decode_reuses_workers_across_batches(self, tmp_path):
+        with SolverService(
+            tmp_path / "store", workers=1, batch_window=0.3, max_batch_size=2
+        ) as service:
+            first = [service.submit(make_instance(330 + i)) for i in range(2)]
+            first_pids = {ticket.result(timeout=120).decode_pid for ticket in first}
+            second = [service.submit(make_instance(340 + i)) for i in range(2)]
+            second_pids = {ticket.result(timeout=120).decode_pid for ticket in second}
+        assert first_pids == second_pids  # persistent pool, not respawned
